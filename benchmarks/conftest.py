@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the experiment benches.
+
+Every bench regenerates one experiment of EXPERIMENTS.md: it sweeps the
+workload, prints the result table (run with ``-s`` to see it live), writes
+the same table under ``benchmarks/results/``, and wraps a representative
+unit of work in the pytest-benchmark fixture so ``--benchmark-only`` also
+reports wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import PhysicalParams
+from repro.analysis.tables import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def params() -> PhysicalParams:
+    """Default physics normalised to R_T = 1."""
+    return PhysicalParams().with_r_t(1.0)
+
+
+@pytest.fixture(scope="session")
+def emit_table():
+    """Print an experiment table and persist it under benchmarks/results/."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def emit(name: str, rows, columns=None, title=None) -> str:
+        text = format_table(rows, columns=columns, title=title or name)
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        return text
+
+    return emit
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Protocol runs take seconds; pytest-benchmark's auto-calibration would
+    repeat them dozens of times.  One timed round is the right trade.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

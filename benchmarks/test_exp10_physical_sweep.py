@@ -1,0 +1,19 @@
+"""EXP-10 bench — thin harness over :mod:`repro.experiments.exp10_physical_sweep`."""
+
+from conftest import once
+
+from repro.experiments import exp10_physical_sweep as exp
+
+
+def test_exp10_physical_sweep(benchmark, emit_table):
+    rows = []
+    for alpha in exp.DEFAULT_ALPHAS:
+        for beta in exp.DEFAULT_BETAS:
+            if (alpha, beta) == (4.0, 2.0):
+                rows.append(once(benchmark, exp.run_single, alpha, beta))
+            else:
+                rows.append(exp.run_single(alpha, beta))
+    emit_table(
+        "exp10_physical_sweep", rows, columns=exp.COLUMNS, title=exp.TITLE
+    )
+    exp.check(rows)

@@ -1,0 +1,31 @@
+"""EXP-1 bench — thin harness over :mod:`repro.experiments.exp01_colors_vs_delta`.
+
+See the experiment module for the claim and the acceptance criteria; this
+wrapper adds wall-clock timing of the densest configuration and persists
+the aggregated table.
+"""
+
+from conftest import once
+
+from repro.analysis.metrics import aggregate_rows
+from repro.experiments import exp01_colors_vs_delta as exp
+
+
+def test_exp1_colors_vs_delta(benchmark, emit_table):
+    rows = exp.run(seeds=[0, 1], extents=exp.DEFAULT_EXTENTS[:-1])
+    rows.append(once(benchmark, exp.run_single, 0, exp.DEFAULT_EXTENTS[-1]))
+    table = aggregate_rows(
+        rows,
+        group_by=["extent"],
+        values=["delta", "colors", "max_color", "bound", "colors_per_delta"],
+    )
+    emit_table(
+        "exp1_colors_vs_delta",
+        table,
+        columns=[
+            "extent", "runs", "delta_mean", "colors_mean", "max_color_mean",
+            "bound_mean", "colors_per_delta_mean",
+        ],
+        title=exp.TITLE,
+    )
+    exp.check(rows)

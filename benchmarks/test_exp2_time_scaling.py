@@ -1,0 +1,50 @@
+"""EXP-2 bench — thin harness over :mod:`repro.experiments.exp02_time_scaling`."""
+
+from conftest import once
+
+from repro.analysis.metrics import aggregate_rows, fit_shape
+from repro.experiments import exp02_time_scaling as exp
+
+SEEDS = [0, 1]
+
+
+def test_exp2_slots_vs_n(benchmark, emit_table):
+    rows = [exp.run_single(seed, n) for n in (50, 100, 200) for seed in SEEDS]
+    rows.append(once(benchmark, exp.run_single, SEEDS[0], 400))
+    table = aggregate_rows(
+        rows, group_by=["n"], values=["delta", "slots", "slots_per_shape"]
+    )
+    constant, spread = fit_shape(rows, "shape", "slots")
+    emit_table(
+        "exp2_slots_vs_n",
+        table,
+        columns=["n", "runs", "delta_mean", "slots_mean", "slots_per_shape_mean"],
+        title=(
+            f"{exp.TITLE_VS_N} | fit: slots = {constant:.0f} * Delta ln n, "
+            f"spread {spread:.2f}x"
+        ),
+    )
+    exp.check(rows)
+
+
+def test_exp2_slots_vs_delta(benchmark, emit_table):
+    rows = [
+        exp.run_single_fixed_n(seed, extent)
+        for extent in (9.0, 6.5)
+        for seed in SEEDS
+    ]
+    rows.append(once(benchmark, exp.run_single_fixed_n, SEEDS[0], 5.0))
+    table = aggregate_rows(
+        rows, group_by=["extent"], values=["delta", "slots", "slots_per_shape"]
+    )
+    constant, spread = fit_shape(rows, "shape", "slots")
+    emit_table(
+        "exp2_slots_vs_delta",
+        table,
+        columns=["extent", "runs", "delta_mean", "slots_mean", "slots_per_shape_mean"],
+        title=(
+            f"{exp.TITLE_VS_DELTA} | fit: slots = {constant:.0f} * Delta ln n, "
+            f"spread {spread:.2f}x"
+        ),
+    )
+    exp.check(rows)

@@ -1,0 +1,16 @@
+"""EXP-4 bench — thin harness over :mod:`repro.experiments.exp04_interference_bound`."""
+
+from conftest import once
+
+from repro.experiments import exp04_interference_bound as exp
+
+
+def test_exp4_interference_bound(benchmark, emit_table, params):
+    rows = once(benchmark, exp.run_single, 0, params)
+    rows += exp.run_single(1, params)
+    emit_table(
+        "exp4_interference_bound", rows, columns=exp.COLUMNS, title=exp.TITLE
+    )
+    exp.check(rows)
+    # the literal Lemma 3 boundary (R_I) must be among the audited radii
+    assert any(row["boundary_rt"] == round(params.r_i, 2) for row in rows)

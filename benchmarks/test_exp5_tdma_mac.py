@@ -1,0 +1,17 @@
+"""EXP-5 bench — thin harness over :mod:`repro.experiments.exp05_tdma_mac`."""
+
+from conftest import once
+
+from repro.experiments import exp05_tdma_mac as exp
+
+
+def test_exp5_tdma_mac(benchmark, emit_table, params):
+    rows = once(benchmark, exp.run_single, 0, params)
+    rows += exp.run_single(1, params)
+    emit_table(
+        "exp5_tdma_mac",
+        rows,
+        columns=exp.COLUMNS,
+        title=f"{exp.TITLE} (d={params.mac_distance:.2f})",
+    )
+    exp.check(rows)

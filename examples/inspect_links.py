@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Inspect a colored network: link budgets and an ASCII map.
+
+A deployment is colored with the MW algorithm, then inspected two ways:
+
+* **Link budgets** — the per-link interference tolerance implied by the
+  SINR predicate.  Links near the transmission range R_T tolerate only
+  about one noise floor of interference (the paper's deliberate margin);
+  this is exactly why distance-1 TDMA schedules lose their *long* links
+  first (EXP-5) and why the Theorem 3 guard distance is what it is.
+* **ASCII map** — the deployment glyph-coded by color class, leaders
+  (color 0, the independent set) drawn as ``@``.
+
+Run:  python examples/inspect_links.py
+"""
+
+from repro import PhysicalParams, UnitDiskGraph, run_mw_coloring, uniform_deployment
+from repro.analysis import (
+    format_table,
+    link_budgets,
+    render_coloring,
+    weakest_links,
+)
+
+
+def main() -> None:
+    params = PhysicalParams().with_r_t(1.0)
+    deployment = uniform_deployment(n=90, extent=6.0, seed=11)
+    graph = UnitDiskGraph(deployment.positions, params.r_t)
+
+    result = run_mw_coloring(deployment, params, seed=2)
+    assert result.is_proper()
+
+    print("network map (glyph = color class):\n")
+    print(render_coloring(deployment.positions, result.coloring.colors, width=64))
+
+    budgets = link_budgets(graph, params)
+    noise = params.noise
+    rows = [
+        {
+            "link": f"{b.sender}->{b.receiver}",
+            "length": b.length,
+            "budget/noise": b.budget / noise,
+            "margin_dB": b.margin_db,
+        }
+        for b in weakest_links(graph, params, count=8)
+    ]
+    print()
+    print(format_table(rows, title="weakest links (smallest interference budgets)"))
+
+    long_links = sum(1 for b in budgets if b.length > 0.9 * params.r_t)
+    print(
+        f"\n{long_links}/{len(budgets)} directed links are longer than 0.9 R_T; "
+        "each tolerates barely ~1-2x the noise floor — the margin Theorem 3's "
+        f"guard distance (d = {params.mac_distance:.2f}) is engineered to protect."
+    )
+
+
+if __name__ == "__main__":
+    main()

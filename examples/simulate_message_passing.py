@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Simulate classical message-passing algorithms under SINR (Corollary 1).
+
+The paper's Corollary 1: any uniform point-to-point algorithm with round
+complexity tau can be executed in the SINR model in O(Delta (log n + tau))
+slots — build a (d+1)-coloring once, derive a TDMA frame, and replay each
+round of the algorithm as one frame.
+
+This example runs three textbook algorithms — flooding, BFS-tree
+construction and max-id leader election — both natively (perfect private
+channels) and via single-round simulation over the physical SINR layer,
+then checks that the SINR execution is observationally identical.
+
+Run:  python examples/simulate_message_passing.py
+"""
+
+from repro import (
+    BFSTreeAlgorithm,
+    FloodingBroadcast,
+    MaxIdLeaderElection,
+    PhysicalParams,
+    TDMASchedule,
+    UnitDiskGraph,
+    greedy_coloring,
+    power_graph,
+    simulate_uniform_algorithm,
+    uniform_deployment,
+)
+from repro.messaging.model import run_uniform_rounds
+
+
+def main() -> None:
+    params = PhysicalParams().with_r_t(1.0)
+    deployment = uniform_deployment(n=100, extent=6.0, seed=24)
+    graph = UnitDiskGraph(deployment.positions, params.r_t)
+    assert graph.is_connected(), "pick a connected deployment for flooding demos"
+    print(f"n={graph.n}, Delta={graph.max_degree}")
+
+    # the MAC substrate of Corollary 1: one (d+1)-coloring, reused by all
+    coloring = greedy_coloring(power_graph(graph, params.mac_distance + 1))
+    schedule = TDMASchedule(coloring)
+    print(f"TDMA frame: V={schedule.frame_length} slots "
+          f"(palette of the (d+1)-coloring)\n")
+
+    workloads = {
+        "flooding":        lambda: [FloodingBroadcast(source=0) for _ in range(graph.n)],
+        "bfs-tree":        lambda: [BFSTreeAlgorithm(root=0) for _ in range(graph.n)],
+        "leader-election": lambda: [MaxIdLeaderElection(rounds=25) for _ in range(graph.n)],
+    }
+
+    def canonical(name, outputs):
+        # a BFS tree is unique only up to parent tie-breaking among
+        # same-depth announcers; compare the depths (which are unique)
+        if name == "bfs-tree":
+            return [out if out is None else out[1] for out in outputs]
+        return list(outputs)
+
+    for name, make in workloads.items():
+        simulated = make()
+        srs = simulate_uniform_algorithm(
+            graph, simulated, schedule, params, max_rounds=120
+        )
+        native = make()
+        ref = run_uniform_rounds(graph, native, max_rounds=120)
+        same = canonical(name, [a.output() for a in native]) == canonical(
+            name, srs.outputs
+        )
+        print(
+            f"{name:<16} native rounds={ref.rounds:>3}  "
+            f"SINR slots={srs.slots:>5} "
+            f"(= {srs.rounds} rounds x {srs.frame_length})  "
+            f"lost={srs.lost_deliveries}  outputs equal: {same}"
+        )
+        assert srs.exact and srs.halted
+
+    print("\nOK — Corollary 1: lossless simulation at tau * V slots per run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Build an interference-free TDMA MAC layer from a coloring (Section V).
+
+The paper's Theorem 3: a ``(d+1, V)``-coloring with
+``d = (32 (alpha-1)/(alpha-2) beta)^(1/alpha)`` schedules a TDMA frame in
+which *every* node delivers to *all* of its neighbors — under the full
+additive SINR interference of everyone else wearing the same color.
+
+This example shows the whole MAC story on one deployment:
+
+1. distance-1 coloring  -> TDMA frame drops ~40% of deliveries,
+2. distance-2 coloring  -> still not interference-free (the classical
+   graph-model fix fails under SINR),
+3. distance-(d+1) coloring -> 100% interference-free in V = O(Delta) slots,
+4. slotted ALOHA        -> eventually covers all pairs, but needs many
+   times more slots and gives no per-frame guarantee,
+5. palette reduction    -> the wide distance coloring recolors itself down
+   to Delta+1 colors over the same physical layer.
+
+Run:  python examples/tdma_mac_schedule.py
+"""
+
+from repro import (
+    PhysicalParams,
+    TDMASchedule,
+    UnitDiskGraph,
+    greedy_coloring,
+    power_graph,
+    reduce_palette_simulated,
+    run_slotted_aloha,
+    uniform_deployment,
+    verify_tdma_broadcast,
+)
+
+
+def audit(graph, params, coloring, label):
+    schedule = TDMASchedule(coloring)
+    report = verify_tdma_broadcast(graph, schedule, params)
+    print(
+        f"{label:<18} frame={schedule.frame_length:>3} slots  "
+        f"served {report.delivered}/{report.expected} pairs  "
+        f"({report.success_rate:6.1%})  "
+        f"interference-free: {report.interference_free}"
+    )
+    return report
+
+
+def main() -> None:
+    params = PhysicalParams().with_r_t(1.0)
+    d = params.mac_distance
+    print(f"physics: {params.describe()}")
+    print(f"Theorem 3 MAC distance d = {d:.3f}\n")
+
+    deployment = uniform_deployment(n=130, extent=7.0, seed=3)
+    graph = UnitDiskGraph(deployment.positions, params.r_t)
+    print(f"n={graph.n}, Delta={graph.max_degree}, "
+          f"{graph.edge_count} edges\n")
+
+    audit(graph, params, greedy_coloring(graph), "distance-1")
+    audit(graph, params, greedy_coloring(power_graph(graph, 2.0)), "distance-2")
+    wide = greedy_coloring(power_graph(graph, d + 1))
+    report = audit(graph, params, wide, f"distance-{d + 1:.2f}")
+    assert report.interference_free
+
+    aloha = run_slotted_aloha(
+        graph, params, probability=1.0 / graph.max_degree,
+        max_slots=50_000, seed=0,
+    )
+    print(
+        f"{'slotted ALOHA':<18} {aloha.slots_run:>9} slots to cover "
+        f"{aloha.served_pairs}/{aloha.total_pairs} pairs "
+        f"(no deterministic guarantee)"
+    )
+
+    reduction = reduce_palette_simulated(graph, wide, params)
+    print(
+        f"\npalette reduction: {wide.num_colors} -> "
+        f"{reduction.coloring.num_colors} colors "
+        f"(Delta+1 = {graph.max_degree + 1}), "
+        f"lost announcements: {reduction.lost}"
+    )
+    assert reduction.interference_free
+    assert reduction.coloring.is_valid(graph.positions, graph.radius)
+    print("OK — Theorem 3 schedule verified end to end.")
+
+
+if __name__ == "__main__":
+    main()

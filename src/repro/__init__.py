@@ -1,0 +1,133 @@
+"""repro — Distributed node coloring in the SINR model (ICDCS 2010).
+
+A from-scratch reproduction of Derbel & Talbi, *Distributed Node Coloring
+in the SINR Model*: the re-parameterised Moscibroda-Wattenhofer coloring
+algorithm running over a faithful SINR physical layer, plus the
+coloring-based TDMA MAC layer (Theorem 3) and the single-round simulation
+of message-passing algorithms (Corollary 1) — with the unit-disk-graph,
+radio-simulation and message-passing substrates they need.
+
+Quickstart::
+
+    from repro import uniform_deployment, run_mw_coloring, PhysicalParams
+
+    params = PhysicalParams().with_r_t(1.0)
+    deployment = uniform_deployment(n=100, extent=6.0, seed=1)
+    result = run_mw_coloring(deployment, params, seed=0)
+    assert result.is_proper()
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+claim-by-claim validation of the paper.
+"""
+
+from .coloring import (
+    AlgorithmConstants,
+    IndependenceAuditor,
+    MWColoringResult,
+    greedy_coloring,
+    randomized_coloring,
+    reduce_palette,
+    reduce_palette_simulated,
+    run_distance_d_coloring,
+    run_mw_coloring,
+)
+from .coloring.runner import run_mw_coloring_audited
+from .errors import (
+    ColoringError,
+    ConfigurationError,
+    DeploymentError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+from .geometry import (
+    Deployment,
+    clustered_deployment,
+    grid_deployment,
+    perturbed_grid_deployment,
+    phi_empirical,
+    phi_upper_bound,
+    poisson_deployment,
+    uniform_deployment,
+)
+from .graphs import Coloring, UnitDiskGraph, power_graph
+from .mac import (
+    TDMASchedule,
+    run_slotted_aloha,
+    simulate_general_algorithm,
+    simulate_uniform_algorithm,
+    verify_tdma_broadcast,
+)
+from .messaging import (
+    BFSTreeAlgorithm,
+    ConvergecastSum,
+    FloodingBroadcast,
+    MaxIdLeaderElection,
+    PairwiseTokenExchange,
+    run_general_rounds,
+    run_uniform_rounds,
+)
+from .simulation import WakeupSchedule
+from .sinr import (
+    CollisionFreeChannel,
+    GraphChannel,
+    LossyChannel,
+    PhysicalParams,
+    ProtocolChannel,
+    SINRChannel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmConstants",
+    "BFSTreeAlgorithm",
+    "Coloring",
+    "ColoringError",
+    "CollisionFreeChannel",
+    "ConfigurationError",
+    "ConvergecastSum",
+    "Deployment",
+    "DeploymentError",
+    "FloodingBroadcast",
+    "GraphChannel",
+    "IndependenceAuditor",
+    "LossyChannel",
+    "MWColoringResult",
+    "MaxIdLeaderElection",
+    "PairwiseTokenExchange",
+    "PhysicalParams",
+    "ProtocolChannel",
+    "ProtocolError",
+    "ReproError",
+    "SINRChannel",
+    "ScheduleError",
+    "SimulationError",
+    "TDMASchedule",
+    "UnitDiskGraph",
+    "WakeupSchedule",
+    "clustered_deployment",
+    "greedy_coloring",
+    "grid_deployment",
+    "perturbed_grid_deployment",
+    "phi_empirical",
+    "phi_upper_bound",
+    "poisson_deployment",
+    "power_graph",
+    "randomized_coloring",
+    "reduce_palette",
+    "reduce_palette_simulated",
+    "run_distance_d_coloring",
+    "run_general_rounds",
+    "run_mw_coloring",
+    "run_mw_coloring_audited",
+    "run_slotted_aloha",
+    "run_uniform_rounds",
+    "simulate_general_algorithm",
+    "simulate_uniform_algorithm",
+    "uniform_deployment",
+    "verify_tdma_broadcast",
+    "__version__",
+]

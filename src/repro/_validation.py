@@ -1,0 +1,61 @@
+"""Small argument-validation helpers shared across the library.
+
+Each helper raises :class:`repro.errors.ConfigurationError` with a message
+naming the offending argument, so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from .errors import ConfigurationError
+
+
+def require_positive(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number strictly greater than zero."""
+    require_finite(name, value)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_nonnegative(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number greater than or equal to zero."""
+    require_finite(name, value)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_finite(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite real number."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def require_probability(name: str, value: float) -> float:
+    """Return ``value`` if it lies in the closed interval [0, 1]."""
+    require_finite(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def require_int(name: str, value: Any, minimum: int | None = None) -> int:
+    """Return ``value`` if it is an integer, optionally at least ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value!r}")
+    return value
+
+
+def require_in(name: str, value: Any, allowed: tuple) -> Any:
+    """Return ``value`` if it is one of ``allowed``."""
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

@@ -1,0 +1,83 @@
+"""Per-node transmission accounting (the energy view).
+
+In sensor networks the scarce resource is energy, and the dominant cost is
+radio transmission.  :class:`TransmissionCounter` is a slot observer that
+counts each node's transmissions and receptions over a run, giving the
+energy profile of a protocol execution: how much the leader election
+costs, how unevenly work is distributed, what a color holder burns per
+slot of "until protocol stopped".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import require_int
+from ..sinr.channel import Delivery, Transmission
+
+__all__ = ["TransmissionCounter"]
+
+
+@dataclass
+class TransmissionCounter:
+    """Slot observer counting per-node transmissions and receptions."""
+
+    n: int
+    tx_counts: np.ndarray = field(init=False)
+    rx_counts: np.ndarray = field(init=False)
+    slots_seen: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        require_int("n", self.n, minimum=1)
+        self.tx_counts = np.zeros(self.n, dtype=np.int64)
+        self.rx_counts = np.zeros(self.n, dtype=np.int64)
+
+    def on_slot_end(
+        self,
+        slot: int,
+        transmissions: Sequence[Transmission],
+        deliveries: Sequence[Delivery],
+    ) -> None:
+        """Accumulate one slot's traffic."""
+        self.slots_seen += 1
+        for transmission in transmissions:
+            self.tx_counts[transmission.sender] += 1
+        for delivery in deliveries:
+            self.rx_counts[delivery.receiver] += 1
+
+    @property
+    def total_transmissions(self) -> int:
+        """Sum of all transmissions observed."""
+        return int(self.tx_counts.sum())
+
+    @property
+    def total_receptions(self) -> int:
+        """Sum of all receptions observed."""
+        return int(self.rx_counts.sum())
+
+    def busiest(self, count: int = 5) -> list[tuple[int, int]]:
+        """The ``count`` nodes with the most transmissions, as (node, tx)."""
+        require_int("count", count, minimum=0)
+        order = np.argsort(self.tx_counts)[::-1][:count]
+        return [(int(node), int(self.tx_counts[node])) for node in order]
+
+    def imbalance(self) -> float:
+        """Max over mean transmissions (1.0 = perfectly balanced load)."""
+        mean = self.tx_counts.mean()
+        if mean == 0:
+            return 1.0
+        return float(self.tx_counts.max() / mean)
+
+    def summary(self) -> dict:
+        """One table row of the energy profile."""
+        return {
+            "slots": self.slots_seen,
+            "tx_total": self.total_transmissions,
+            "rx_total": self.total_receptions,
+            "tx_per_node_mean": float(self.tx_counts.mean()),
+            "tx_per_node_max": int(self.tx_counts.max()),
+            "imbalance": self.imbalance(),
+        }

@@ -1,0 +1,91 @@
+"""Row builders and aggregation for experiment tables."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Sequence
+
+from ..coloring.result import MWColoringResult
+from ..errors import ConfigurationError
+from .theory import time_bound_shape
+
+__all__ = ["aggregate_rows", "coloring_row", "fit_shape"]
+
+
+def fit_shape(
+    rows: Sequence[dict], shape_key: str, value_key: str
+) -> tuple[float, float]:
+    """Least-squares fit of ``value ~ c * shape`` over experiment rows.
+
+    Returns ``(c, spread)`` where ``c`` is the fitted constant and
+    ``spread`` is the max/min ratio of the per-row constants
+    ``value / shape`` — the scaling experiments' flatness statistic
+    (spread close to 1 means the claimed shape explains the data).
+    """
+    if not rows:
+        raise ConfigurationError("fit_shape needs at least one row")
+    for key in (shape_key, value_key):
+        if key not in rows[0]:
+            raise ConfigurationError(f"no column {key!r} in rows")
+    shapes = [float(row[shape_key]) for row in rows]
+    values = [float(row[value_key]) for row in rows]
+    if min(shapes) <= 0:
+        raise ConfigurationError("shape values must be positive")
+    constant = sum(s * v for s, v in zip(shapes, values)) / sum(
+        s * s for s in shapes
+    )
+    ratios = [v / s for s, v in zip(shapes, values)]
+    low = min(ratios)
+    spread = float("inf") if low <= 0 else max(ratios) / low
+    return constant, spread
+
+
+def coloring_row(result: MWColoringResult) -> dict:
+    """One experiment-table row summarising a coloring run.
+
+    Extends :meth:`MWColoringResult.summary` with the normalised time
+    (slots per ``Delta * ln n`` shape unit) the scaling experiments plot.
+    """
+    row = result.summary()
+    shape = time_bound_shape(result.constants.delta, result.n)
+    row["slots_per_shape"] = result.slots_to_complete / shape
+    row["colors_per_delta"] = result.num_colors / result.constants.delta
+    return row
+
+
+def aggregate_rows(
+    rows: Sequence[dict], group_by: Sequence[str], values: Sequence[str]
+) -> list[dict]:
+    """Group ``rows`` by the ``group_by`` keys; mean/min/max each value key.
+
+    Returns one row per group with columns ``<v>_mean``, ``<v>_min``,
+    ``<v>_max`` and a ``runs`` count, sorted by the group key tuple.
+    Boolean values aggregate as the fraction true (mean).
+    """
+    if not rows:
+        return []
+    for key in list(group_by) + list(values):
+        if key not in rows[0]:
+            raise ConfigurationError(f"no column {key!r} in rows")
+    groups: dict[tuple, list[dict]] = defaultdict(list)
+    for row in rows:
+        groups[tuple(row[k] for k in group_by)].append(row)
+    out = []
+    for key in sorted(groups):
+        bucket = groups[key]
+        agg: dict = {k: v for k, v in zip(group_by, key)}
+        agg["runs"] = len(bucket)
+        for value in values:
+            numbers = [float(row[value]) for row in bucket]
+            mean = sum(numbers) / len(numbers)
+            agg[f"{value}_mean"] = mean
+            agg[f"{value}_min"] = min(numbers)
+            agg[f"{value}_max"] = max(numbers)
+            if len(numbers) > 1:
+                var = sum((x - mean) ** 2 for x in numbers) / (len(numbers) - 1)
+                agg[f"{value}_std"] = math.sqrt(var)
+            else:
+                agg[f"{value}_std"] = 0.0
+        out.append(agg)
+    return out

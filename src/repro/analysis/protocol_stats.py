@@ -1,0 +1,129 @@
+"""Protocol observability: aggregate statistics from run traces.
+
+A traced run (``run_mw_coloring(..., trace=True)``) records every state
+transition.  :func:`trace_statistics` turns that event log into the
+numbers one actually asks while studying the algorithm: how often do
+counters reset, how many competition states does a node visit, how long do
+cluster requests wait, how is work distributed between the leader election
+and the per-color competitions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coloring.result import MWColoringResult
+from ..errors import ConfigurationError
+
+__all__ = ["ProtocolStats", "trace_statistics"]
+
+
+@dataclass(frozen=True)
+class ProtocolStats:
+    """Aggregated per-run protocol statistics (from a traced run).
+
+    Attributes
+    ----------
+    resets_total / resets_per_node_mean / resets_per_node_max:
+        Fig. 1 line 15 counter restarts.
+    a_states_visited_mean / a_states_visited_max:
+        How many distinct ``A_i`` entries a node made (>= 1; the Theorem 2
+        argument bounds this by ``phi(2R_T) + 2``).
+    request_wait_mean / request_wait_max:
+        Slots between entering ``R`` and leaving it (cluster-color grant
+        latency; Lemma 7's quantity).
+    leader_decision_slot_mean:
+        Mean decision slot of the leaders (the independent set forms
+        first; members follow).
+    member_decision_slot_mean:
+        Mean decision slot of non-leaders.
+    serves_total:
+        Cluster-color grants issued by all leaders.
+    """
+
+    resets_total: int
+    resets_per_node_mean: float
+    resets_per_node_max: int
+    a_states_visited_mean: float
+    a_states_visited_max: int
+    request_wait_mean: float
+    request_wait_max: int
+    leader_decision_slot_mean: float
+    member_decision_slot_mean: float
+    serves_total: int
+
+    def rows(self) -> list[dict]:
+        """The statistics as table rows (for ``format_table``)."""
+        return [
+            {"statistic": name, "value": getattr(self, name)}
+            for name in (
+                "resets_total",
+                "resets_per_node_mean",
+                "resets_per_node_max",
+                "a_states_visited_mean",
+                "a_states_visited_max",
+                "request_wait_mean",
+                "request_wait_max",
+                "leader_decision_slot_mean",
+                "member_decision_slot_mean",
+                "serves_total",
+            )
+        ]
+
+
+def trace_statistics(result: MWColoringResult) -> ProtocolStats:
+    """Aggregate a traced run's event log; raises if tracing was off."""
+    trace = result.trace
+    if not trace.enabled and len(trace) == 0:
+        raise ConfigurationError(
+            "trace_statistics needs a traced run (run_mw_coloring(..., trace=True))"
+        )
+
+    resets = Counter()
+    a_entries = Counter()
+    request_enter: dict[int, int] = {}
+    request_waits: list[int] = []
+    serves = 0
+    for event in trace.events:
+        if event.kind == "reset":
+            resets[event.node] += 1
+        elif event.kind == "enter_A":
+            a_entries[event.node] += 1
+            if event.node in request_enter:
+                request_waits.append(event.slot - request_enter.pop(event.node))
+        elif event.kind == "enter_R":
+            request_enter[event.node] = event.slot
+        elif event.kind == "serve":
+            serves += 1
+
+    n = result.n
+    reset_counts = np.asarray([resets.get(v, 0) for v in range(n)])
+    visit_counts = np.asarray([a_entries.get(v, 0) for v in range(n)])
+    leader_set = set(int(v) for v in result.leaders)
+    leader_slots = [
+        int(s) for v, s in enumerate(result.decision_slots) if v in leader_set and s >= 0
+    ]
+    member_slots = [
+        int(s)
+        for v, s in enumerate(result.decision_slots)
+        if v not in leader_set and s >= 0
+    ]
+    return ProtocolStats(
+        resets_total=int(reset_counts.sum()),
+        resets_per_node_mean=float(reset_counts.mean()) if n else 0.0,
+        resets_per_node_max=int(reset_counts.max()) if n else 0,
+        a_states_visited_mean=float(visit_counts.mean()) if n else 0.0,
+        a_states_visited_max=int(visit_counts.max()) if n else 0,
+        request_wait_mean=float(np.mean(request_waits)) if request_waits else 0.0,
+        request_wait_max=int(max(request_waits)) if request_waits else 0,
+        leader_decision_slot_mean=(
+            float(np.mean(leader_slots)) if leader_slots else 0.0
+        ),
+        member_decision_slot_mean=(
+            float(np.mean(member_slots)) if member_slots else 0.0
+        ),
+        serves_total=serves,
+    )

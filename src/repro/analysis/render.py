@@ -1,0 +1,87 @@
+"""Terminal rendering of deployments and colorings.
+
+Pure-text visualisation (no plotting dependencies): nodes are projected
+onto a character grid, optionally glyph-coded by color class.  Useful for
+eyeballing deployments and coloring structure in examples and debugging
+sessions; precise analysis belongs to the metric modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import require_int
+from ..errors import ConfigurationError
+from ..geometry.point import as_positions
+
+__all__ = ["render_coloring", "render_deployment"]
+
+# Glyph cycle for color classes: leaders (color 0) always get '@'.
+_GLYPHS = "abcdefghijklmnopqrstuvwxyz0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _grid_shape(
+    positions: np.ndarray, width: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    xs = positions[:, 0]
+    ys = positions[:, 1]
+    span_x = max(xs.max() - xs.min(), 1e-9)
+    span_y = max(ys.max() - ys.min(), 1e-9)
+    height = max(2, int(round(width * (span_y / span_x) * 0.5)))  # chars ~2:1
+    col = np.clip(
+        ((xs - xs.min()) / span_x * (width - 1)).round().astype(int), 0, width - 1
+    )
+    row = np.clip(
+        ((ys - ys.min()) / span_y * (height - 1)).round().astype(int),
+        0,
+        height - 1,
+    )
+    return col, row, height
+
+
+def render_deployment(positions: np.ndarray, width: int = 64) -> str:
+    """ASCII scatter of a deployment: '*' per node, '+' where nodes overlap."""
+    positions = as_positions(positions)
+    require_int("width", width, minimum=2)
+    if len(positions) == 0:
+        raise ConfigurationError("cannot render an empty deployment")
+    col, row, height = _grid_shape(positions, width)
+    grid = [[" "] * width for _ in range(height)]
+    for c, r in zip(col, row):
+        cell = grid[height - 1 - r][c]
+        grid[height - 1 - r][c] = "*" if cell == " " else "+"
+    return "\n".join("".join(line) for line in grid)
+
+
+def render_coloring(
+    positions: np.ndarray, colors: np.ndarray, width: int = 64
+) -> str:
+    """ASCII scatter glyph-coded by color class.
+
+    Color 0 (the MW leader set) renders as ``@``; other colors cycle
+    through letters and digits.  Overlapping cells show ``#``.
+    """
+    positions = as_positions(positions)
+    colors = np.asarray(colors)
+    require_int("width", width, minimum=2)
+    if len(positions) != len(colors):
+        raise ConfigurationError(
+            f"{len(colors)} colors for {len(positions)} positions"
+        )
+    if len(positions) == 0:
+        raise ConfigurationError("cannot render an empty deployment")
+    col, row, height = _grid_shape(positions, width)
+    palette = sorted(set(int(c) for c in colors))
+    glyph_of = {}
+    for index, color in enumerate(palette):
+        if color == 0:
+            glyph_of[color] = "@"
+        else:
+            glyph_of[color] = _GLYPHS[(index - (0 in palette)) % len(_GLYPHS)]
+    grid = [[" "] * width for _ in range(height)]
+    for c, r, color in zip(col, row, colors):
+        cell = grid[height - 1 - r][c]
+        glyph = glyph_of[int(color)]
+        grid[height - 1 - r][c] = glyph if cell == " " else "#"
+    legend = f"@ = leaders (color 0); {len(palette)} color classes"
+    return "\n".join("".join(line) for line in grid) + "\n" + legend

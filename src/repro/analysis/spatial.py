@@ -1,0 +1,93 @@
+"""Spatial link analysis: interference budgets under the SINR predicate.
+
+For a link ``v -> u`` of length ``delta(u, v)``, the SINR condition
+
+    (P / delta^alpha) / (N + I) >= beta
+
+holds iff the total interference ``I`` at ``u`` stays below the link's
+*budget* ``P / (beta * delta^alpha) - N``.  Links near ``R_T`` have budgets
+of about one noise floor (the paper's margin design); short links tolerate
+orders of magnitude more.  These helpers quantify that per link, which is
+what makes results like EXP-5's "distance-1 TDMA loses exactly its long
+links" inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.udg import UnitDiskGraph
+from ..sinr.params import PhysicalParams
+
+__all__ = ["LinkBudget", "link_budget", "link_budgets", "weakest_links"]
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Interference tolerance of one directed link.
+
+    Attributes
+    ----------
+    sender / receiver:
+        Link endpoints.
+    length:
+        Euclidean link length.
+    budget:
+        Maximum total interference at the receiver that still decodes the
+        sender (``P/(beta * length^alpha) - N``); negative means the link
+        fails even on a silent channel.
+    margin_db:
+        The budget expressed in dB relative to the noise floor
+        (``10 log10(budget / N)``); -inf for non-positive budgets.
+    """
+
+    sender: int
+    receiver: int
+    length: float
+    budget: float
+    margin_db: float
+
+
+def link_budget(
+    params: PhysicalParams, length: float
+) -> float:
+    """Interference budget of a link of the given ``length``.
+
+    ``P / (beta * length^alpha) - N``; at ``length == R_T`` this equals the
+    noise floor ``N`` exactly (the factor-2 margin built into ``R_T``).
+    """
+    if length <= 0:
+        raise ValueError(f"link length must be > 0, got {length}")
+    return params.power / (params.beta * length**params.alpha) - params.noise
+
+
+def link_budgets(
+    graph: UnitDiskGraph, params: PhysicalParams
+) -> list[LinkBudget]:
+    """Budgets of every directed edge of ``graph`` (both directions).
+
+    Uniform power makes the two directions symmetric; both are listed so
+    per-receiver aggregation stays straightforward.
+    """
+    budgets = []
+    positions = graph.positions
+    for u, v in graph.edges():
+        length = float(np.hypot(*(positions[u] - positions[v])))
+        value = link_budget(params, length)
+        margin = (
+            10.0 * np.log10(value / params.noise) if value > 0 else float("-inf")
+        )
+        budgets.append(LinkBudget(u, v, length, value, margin))
+        budgets.append(LinkBudget(v, u, length, value, margin))
+    return budgets
+
+
+def weakest_links(
+    graph: UnitDiskGraph, params: PhysicalParams, count: int = 10
+) -> list[LinkBudget]:
+    """The ``count`` directed links with the smallest interference budgets."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return sorted(link_budgets(graph, params), key=lambda b: b.budget)[:count]

@@ -1,0 +1,51 @@
+"""A tiny deterministic parameter-sweep harness.
+
+Experiments are grids of configurations crossed with seeds; :func:`sweep`
+runs a row-producing function over the full cross product and collects the
+rows.  Keeping this in the library (rather than ad hoc loops in each bench)
+makes every experiment's iteration order, seeding and row format uniform.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Mapping
+
+from ..errors import ConfigurationError
+
+__all__ = ["sweep"]
+
+
+def sweep(
+    run: Callable[..., dict | list[dict] | None],
+    grid: Mapping[str, Iterable],
+    seeds: Iterable[int] = (0,),
+    progress: Callable[[str], None] | None = None,
+) -> list[dict]:
+    """Run ``run(seed=s, **combo)`` over the grid x seeds cross product.
+
+    ``run`` returns a row dict, a list of row dicts, or None (skipped
+    combination).  Each returned row is annotated with the combo's
+    parameters and the seed (without overwriting keys ``run`` set itself).
+    """
+    if not grid:
+        raise ConfigurationError("sweep grid must have at least one axis")
+    keys = list(grid.keys())
+    axes = [list(grid[k]) for k in keys]
+    rows: list[dict] = []
+    for combo in itertools.product(*axes):
+        for seed in seeds:
+            kwargs = dict(zip(keys, combo))
+            if progress is not None:
+                progress(f"{kwargs} seed={seed}")
+            produced = run(seed=seed, **kwargs)
+            if produced is None:
+                continue
+            if isinstance(produced, dict):
+                produced = [produced]
+            for row in produced:
+                annotated = dict(zip(keys, combo))
+                annotated["seed"] = seed
+                annotated.update(row)
+                rows.append(annotated)
+    return rows

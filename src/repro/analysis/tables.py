@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment output.
+
+The benches print the same rows EXPERIMENTS.md records; a single shared
+renderer keeps them aligned and diff-able.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["format_table", "print_table"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    ``columns`` selects and orders columns (default: keys of the first
+    row).  Missing values render as ``-``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    else:
+        columns = list(columns)
+        if not columns:
+            raise ConfigurationError("columns must be non-empty when given")
+    table = [[str(c) for c in columns]]
+    for row in rows:
+        table.append([_format_cell(row.get(c, "-")) for c in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(cell.ljust(w) for cell, w in zip(table[0], widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in table[1:]:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> None:
+    """Print :func:`format_table` output (convenience for benches)."""
+    print(format_table(rows, columns, title))

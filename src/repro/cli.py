@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Five subcommands expose the library's main flows without writing code:
+
+* ``physics``  — print the derived geometry (R_T, R_max, R_I, d) for a set
+  of physical constants.
+* ``color``    — run the MW coloring on a synthetic deployment and print
+  the run summary (optionally with the Theorem 1 audit).
+* ``mac``      — build greedy distance-k TDMA schedules and audit them
+  under SINR (the Theorem 3 table).
+* ``srs``      — simulate a uniform message-passing algorithm over the
+  SINR MAC layer (Corollary 1) and compare against the reference run.
+* ``estimate`` — run the degree-probing protocol (unknown-Delta extension).
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.tables import format_table
+from .coloring.baselines import greedy_coloring
+from .coloring.estimation import estimate_degrees
+from .coloring.runner import run_mw_coloring_audited
+from .geometry.deployment import (
+    clustered_deployment,
+    grid_deployment,
+    uniform_deployment,
+)
+from .graphs.power import power_graph
+from .graphs.udg import UnitDiskGraph
+from .mac.tdma import TDMASchedule
+from .mac.verify import verify_tdma_broadcast
+from .mac.srs import simulate_uniform_algorithm
+from .messaging.algorithms import (
+    BFSTreeAlgorithm,
+    FloodingBroadcast,
+    MaxIdLeaderElection,
+)
+from .messaging.model import run_uniform_rounds
+from .sinr.params import PhysicalParams
+
+__all__ = ["main"]
+
+
+def _add_physics_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--alpha", type=float, default=4.0, help="path-loss exponent")
+    parser.add_argument("--beta", type=float, default=2.0, help="SINR threshold")
+    parser.add_argument("--rho", type=float, default=2.0, help="Markov slack")
+
+
+def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=100, help="number of nodes")
+    parser.add_argument("--extent", type=float, default=6.0, help="square side (R_T units)")
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--family",
+        choices=["uniform", "clustered", "grid"],
+        default="uniform",
+        help="deployment family",
+    )
+
+
+def _params(args: argparse.Namespace) -> PhysicalParams:
+    return PhysicalParams(alpha=args.alpha, beta=args.beta, rho=args.rho).with_r_t(1.0)
+
+
+def _deployment(args: argparse.Namespace):
+    if args.family == "uniform":
+        return uniform_deployment(args.n, args.extent, seed=args.seed)
+    if args.family == "clustered":
+        per = max(1, args.n // 8)
+        return clustered_deployment(
+            clusters=8, points_per_cluster=per, extent=args.extent,
+            cluster_radius=args.extent / 10.0, seed=args.seed,
+        )
+    side = max(2, int(args.n**0.5))
+    return grid_deployment(side=side, spacing=args.extent / side)
+
+
+def _cmd_physics(args: argparse.Namespace) -> int:
+    params = _params(args)
+    rows = [
+        {"quantity": "R_T (transmission range)", "value": params.r_t},
+        {"quantity": "R_max (decoding range)", "value": params.r_max},
+        {"quantity": "R_I (interference range)", "value": params.r_i},
+        {"quantity": "d (Theorem 3 MAC distance)", "value": params.mac_distance},
+        {"quantity": "Lemma 3 bound P/(2 rho beta R_T^a)",
+         "value": params.outside_interference_bound},
+    ]
+    print(format_table(rows, title=params.describe()))
+    return 0
+
+
+def _cmd_color(args: argparse.Namespace) -> int:
+    params = _params(args)
+    deployment = _deployment(args)
+    result, auditor = run_mw_coloring_audited(
+        deployment, params, seed=args.seed, channel=args.channel
+    )
+    row = result.summary()
+    row["audit_violations"] = len(auditor.violations)
+    print(format_table([row], title="MW coloring run"))
+    ok = result.stats.completed and result.is_proper() and auditor.clean
+    return 0 if ok else 1
+
+
+def _cmd_mac(args: argparse.Namespace) -> int:
+    params = _params(args)
+    deployment = _deployment(args)
+    graph = UnitDiskGraph(deployment.positions, params.r_t)
+    rows = []
+    for k in (1.0, 2.0, params.mac_distance + 1):
+        coloring = greedy_coloring(power_graph(graph, k))
+        schedule = TDMASchedule(coloring)
+        report = verify_tdma_broadcast(graph, schedule, params)
+        rows.append(
+            {
+                "coloring": f"distance-{k:g}",
+                "frame": schedule.frame_length,
+                "served": report.delivered,
+                "pairs": report.expected,
+                "success": report.success_rate,
+                "interference_free": report.interference_free,
+            }
+        )
+    print(format_table(rows, title=f"TDMA audit (n={graph.n}, Delta={graph.max_degree})"))
+    return 0 if rows[-1]["interference_free"] else 1
+
+
+_SRS_WORKLOADS = {
+    "flooding": lambda n: [FloodingBroadcast(source=0) for _ in range(n)],
+    "bfs": lambda n: [BFSTreeAlgorithm(root=0) for _ in range(n)],
+    "leader": lambda n: [MaxIdLeaderElection(rounds=25) for _ in range(n)],
+}
+
+
+def _cmd_srs(args: argparse.Namespace) -> int:
+    params = _params(args)
+    deployment = _deployment(args)
+    graph = UnitDiskGraph(deployment.positions, params.r_t)
+    if not graph.is_connected():
+        print("deployment is disconnected; pick another seed", file=sys.stderr)
+        return 2
+    coloring = greedy_coloring(power_graph(graph, params.mac_distance + 1))
+    schedule = TDMASchedule(coloring)
+    simulated = _SRS_WORKLOADS[args.algorithm](graph.n)
+    report = simulate_uniform_algorithm(
+        graph, simulated, schedule, params, max_rounds=args.max_rounds
+    )
+    native = _SRS_WORKLOADS[args.algorithm](graph.n)
+    native_report = run_uniform_rounds(graph, native, max_rounds=args.max_rounds)
+    row = {
+        "algorithm": args.algorithm,
+        "native_rounds": native_report.rounds,
+        "srs_rounds": report.rounds,
+        "frame": report.frame_length,
+        "slots": report.slots,
+        "lost": report.lost_deliveries,
+        "halted": report.halted,
+    }
+    print(format_table([row], title="Corollary 1 single-round simulation"))
+    return 0 if report.exact and report.halted else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import REGISTRY
+
+    module = REGISTRY[args.id]
+    try:
+        rows = module.run(seeds=range(args.seeds))
+    except TypeError:
+        # some experiments sweep other axes (e.g. exp10's (alpha, beta) grid)
+        rows = module.run()
+    print(format_table(rows, columns=module.COLUMNS, title=module.TITLE))
+    if args.no_check:
+        return 0
+    try:
+        module.check(rows)
+    except AssertionError as failure:
+        print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("check passed")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    params = _params(args)
+    deployment = _deployment(args)
+    graph = UnitDiskGraph(deployment.positions, params.r_t)
+    estimate = estimate_degrees(deployment, params, seed=args.seed)
+    row = {
+        "true_delta": graph.max_degree,
+        "max_estimate": estimate.max_estimate,
+        "mean_heard": float(estimate.heard_counts.mean()),
+        "mean_true": float(graph.degrees.mean()),
+        "probe_slots": estimate.slots_used,
+    }
+    print(format_table([row], title="degree estimation (unknown-Delta probe)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed node coloring in the SINR model (ICDCS 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    physics = sub.add_parser("physics", help="derived geometry for given constants")
+    _add_physics_args(physics)
+    physics.set_defaults(func=_cmd_physics)
+
+    color = sub.add_parser("color", help="run the MW coloring")
+    _add_physics_args(color)
+    _add_deployment_args(color)
+    color.add_argument(
+        "--channel", choices=["sinr", "graph", "collision_free"], default="sinr"
+    )
+    color.set_defaults(func=_cmd_color)
+
+    mac = sub.add_parser("mac", help="audit TDMA schedules (Theorem 3)")
+    _add_physics_args(mac)
+    _add_deployment_args(mac)
+    mac.set_defaults(func=_cmd_mac)
+
+    srs = sub.add_parser("srs", help="simulate a message-passing algorithm")
+    _add_physics_args(srs)
+    _add_deployment_args(srs)
+    srs.add_argument(
+        "--algorithm", choices=sorted(_SRS_WORKLOADS), default="flooding"
+    )
+    srs.add_argument("--max-rounds", type=int, default=120)
+    srs.set_defaults(func=_cmd_srs)
+
+    estimate = sub.add_parser("estimate", help="probe degrees (unknown Delta)")
+    _add_physics_args(estimate)
+    _add_deployment_args(estimate)
+    estimate.set_defaults(func=_cmd_estimate)
+
+    from .experiments import REGISTRY
+
+    experiment = sub.add_parser(
+        "experiment", help="run a registered experiment (EXP-1 .. EXP-13)"
+    )
+    experiment.add_argument("id", choices=sorted(REGISTRY))
+    experiment.add_argument(
+        "--seeds", type=int, default=2, help="number of seeds (0..seeds-1)"
+    )
+    experiment.add_argument(
+        "--no-check", action="store_true", help="print rows without asserting"
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,320 @@
+"""The algorithm constants of Section II, with simulation-friendly presets.
+
+The paper re-tunes the MW algorithm's constants for the SINR model.  For a
+failure-probability exponent ``c >= 5`` and the packing numbers
+``phi(R_I)``, ``phi(R_I + R_T)``, ``phi(2 R_T)``:
+
+    lambda  = (1 - 1/rho) / e^{phi(R_I)/phi(R_I+R_T)}
+              * (1 - phi(R_I) / (phi(R_I+R_T)^2 * Delta))
+              * (1 - 1 / (phi(R_I+R_T)^2 * Delta))
+    lambda' = (1 - 1/rho) / (e * phi(R_I+R_T))
+              * (1 - 1 / (phi(R_I+R_T) * Delta))
+              * (1 - 1/phi(R_I+R_T))^{phi(R_I+R_T)}
+    sigma   = 2c / lambda'              (counter threshold coefficient)
+    gamma   = c * phi(R_I+R_T) / lambda (reset window / delivery coefficient)
+    q_l     = 1 / phi(R_I+R_T)          (leader sending probability)
+    q_s     = 1 / (phi(R_I+R_T)*Delta)  (everyone else's sending probability)
+    eta    >= 2*gamma*phi(2R_T) + sigma + 1   (listening phase coefficient)
+    mu     >= gamma   (and the Section IV revisit needs mu >= sigma)
+
+together with ``zeta_0 = 1`` and ``zeta_i = Delta`` for ``i > 0``.  The
+algorithm's concrete intervals are then
+
+    listening phase     ceil(eta   * Delta  * ln n)   slots   (Fig. 1 line 2)
+    counter threshold   ceil(sigma * Delta  * ln n)           (Fig. 1 line 10)
+    reset window        ceil(gamma * zeta_i * ln n)           (Fig. 1 lines 6/15)
+    leader serve        ceil(mu    * ln n)             slots   (Fig. 2 line 13)
+
+**Why presets exist.**  With the paper's analytic packing bound
+``phi(R) <= (2R/R_T + 1)^2`` and defaults (alpha=4, beta=2, rho=2) we get
+``R_I = 48 R_T``, hence ``phi(R_I+R_T) ~ 9.8e3`` and a listening phase of
+``~1e7 * Delta * ln n`` slots — *correct but unsimulatable*.  So:
+
+* :meth:`AlgorithmConstants.theoretical` — the paper-exact values.  Used to
+  verify the stated inequalities and to report the asymptotic bounds; not
+  meant to be simulated.
+* :meth:`AlgorithmConstants.scaled` — paper structure with all four time
+  coefficients multiplied by a factor (ratios and therefore all the proof's
+  structural inequalities among the *time* constants preserved).
+* :meth:`AlgorithmConstants.practical` — the same formulas evaluated with a
+  small *effective* packing number (defaults tuned empirically so runs
+  finish in thousands of slots while every invariant the proofs guarantee
+  still holds in the experiments).  This matches the standard gap between
+  w.h.p. analyses and deployable constants; EXP-9 quantifies the erosion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from .._validation import require_int, require_positive, require_probability
+from ..errors import ConfigurationError
+from ..geometry.density import phi_upper_bound
+from ..sinr.params import PhysicalParams
+
+__all__ = ["AlgorithmConstants"]
+
+
+def _log_term(n: int) -> float:
+    """The ``ln n`` factor, clamped at 1 so tiny test networks stay sane."""
+    return max(1.0, math.log(n))
+
+
+@dataclass(frozen=True)
+class AlgorithmConstants:
+    """Concrete constants for one run (a given ``Delta`` and ``n``).
+
+    All six coefficient fields carry the meanings listed in the module
+    docstring.  ``phi_2rt`` doubles as the cluster-color spacing constant
+    (state ``A_{tc*(phi_2rt+1)}`` in Fig. 3) and therefore must be identical
+    at every node.
+    """
+
+    delta: int
+    n: int
+    gamma: float
+    sigma: float
+    eta: float
+    mu: float
+    q_s: float
+    q_l: float
+    phi_2rt: int
+    c: float = 5.0
+    preset: str = "custom"
+
+    def __post_init__(self) -> None:
+        require_int("delta", self.delta, minimum=1)
+        require_int("n", self.n, minimum=1)
+        require_positive("gamma", self.gamma)
+        require_positive("sigma", self.sigma)
+        require_positive("eta", self.eta)
+        require_positive("mu", self.mu)
+        require_probability("q_s", self.q_s)
+        require_probability("q_l", self.q_l)
+        require_int("phi_2rt", self.phi_2rt, minimum=1)
+        if self.q_s == 0 or self.q_l == 0:
+            raise ConfigurationError("sending probabilities must be positive")
+
+    # -- paper-exact construction ------------------------------------------------
+
+    @classmethod
+    def theoretical(
+        cls,
+        params: PhysicalParams,
+        delta: int,
+        n: int,
+        c: float = 5.0,
+    ) -> "AlgorithmConstants":
+        """The paper's exact constants from Section II.
+
+        Packing numbers come from the analytic bound
+        ``phi(R) <= (2R/R_T + 1)^2``; the slack inequalities are taken with
+        equality (``eta = 2*gamma*phi(2R_T) + sigma + 1``,
+        ``mu = max(gamma, sigma)`` to satisfy both ``mu >= gamma`` of
+        Section II and ``mu >= sigma`` of Section IV).
+        """
+        require_int("delta", delta, minimum=1)
+        require_int("n", n, minimum=1)
+        if c < 5:
+            raise ConfigurationError(f"the paper requires c >= 5, got {c}")
+        r_t = params.r_t
+        phi_ri = phi_upper_bound(params.r_i, r_t)
+        phi_ri_rt = phi_upper_bound(params.r_i + r_t, r_t)
+        phi_2rt = phi_upper_bound(2.0 * r_t, r_t)
+        lam, lam_prime = cls._lambdas(params.rho, phi_ri, phi_ri_rt, delta)
+        sigma = 2.0 * c / lam_prime
+        gamma = c * phi_ri_rt / lam
+        eta = 2.0 * gamma * phi_2rt + sigma + 1.0
+        mu = max(gamma, sigma)
+        return cls(
+            delta=delta,
+            n=n,
+            gamma=gamma,
+            sigma=sigma,
+            eta=eta,
+            mu=mu,
+            q_s=1.0 / (phi_ri_rt * delta),
+            q_l=1.0 / phi_ri_rt,
+            phi_2rt=phi_2rt,
+            c=c,
+            preset="theoretical",
+        )
+
+    @staticmethod
+    def _lambdas(
+        rho: float, phi_ri: int, phi_ri_rt: int, delta: int
+    ) -> tuple[float, float]:
+        """The success-probability constants lambda and lambda' of Section II."""
+        if phi_ri_rt < phi_ri:
+            raise ConfigurationError(
+                "phi(R_I + R_T) must dominate phi(R_I): "
+                f"got {phi_ri_rt} < {phi_ri}"
+            )
+        slack = 1.0 - 1.0 / rho
+        ratio = phi_ri / phi_ri_rt
+        lam = (
+            slack
+            / math.exp(ratio)
+            * (1.0 - phi_ri / (phi_ri_rt**2 * delta))
+            * (1.0 - 1.0 / (phi_ri_rt**2 * delta))
+        )
+        lam_prime = (
+            slack
+            / (math.e * phi_ri_rt)
+            * (1.0 - 1.0 / (phi_ri_rt * delta))
+            * (1.0 - 1.0 / phi_ri_rt) ** phi_ri_rt
+        )
+        if lam <= 0 or lam_prime <= 0:
+            raise ConfigurationError(
+                "degenerate lambda constants; check rho > 1 and packing numbers"
+            )
+        return lam, lam_prime
+
+    # -- simulation presets ----------------------------------------------------------
+
+    @classmethod
+    def practical(
+        cls,
+        delta: int,
+        n: int,
+        phi_2rt: int = 5,
+        gamma: float = 14.0,
+        sigma: float | None = None,
+        mu: float | None = None,
+        eta: float | None = None,
+        q_s: float | None = None,
+        q_l: float = 0.18,
+        c: float = 5.0,
+    ) -> "AlgorithmConstants":
+        """Empirically tuned constants preserving the paper's structure.
+
+        The structural relations the proofs rely on are kept:
+        ``sigma > 2 * gamma`` (default ``sigma = 2*gamma + 1``) and the
+        window/rate coupling — the ``i = 0`` reset window ``gamma * ln n``
+        must buy several expected ``M_C^0`` deliveries at the leaders'
+        rate ``q_l``, which with realistic per-slot delivery probabilities
+        around 0.1 puts ``gamma`` in the low tens (the same relation that
+        makes the paper's own ``gamma ~ c * phi / lambda``).  The full
+        listening-phase inequality ``eta >= 2*gamma*phi_2rt + sigma + 1``
+        is *not* enforced (it buys nothing empirically and costs a long
+        silent prefix); ``eta`` defaults to ``gamma / 2``.
+        ``q_s ~ 1/(2*Delta)`` plays the paper's ``1/(phi * Delta)`` role
+        with an effective packing number of 2.
+        """
+        require_int("delta", delta, minimum=1)
+        if sigma is None:
+            sigma = 2.0 * gamma + 1.0
+        if sigma <= 2.0 * gamma:
+            raise ConfigurationError(
+                f"the analysis requires sigma > 2*gamma, got {sigma} <= {2 * gamma}"
+            )
+        if q_s is None:
+            q_s = min(1.0, 1.0 / (2.0 * delta))
+        if mu is None:
+            mu = gamma
+        if eta is None:
+            eta = max(1.0, gamma / 2.0)
+        return cls(
+            delta=delta,
+            n=n,
+            gamma=gamma,
+            sigma=sigma,
+            eta=eta,
+            mu=mu,
+            q_s=q_s,
+            q_l=q_l,
+            phi_2rt=phi_2rt,
+            c=c,
+            preset="practical",
+        )
+
+    def scaled(self, factor: float) -> "AlgorithmConstants":
+        """All four time coefficients multiplied by ``factor``.
+
+        Ratios among gamma/sigma/eta/mu — hence the structural inequalities
+        of the analysis — are preserved; ``sigma > 2*gamma`` keeps holding
+        whenever it held.  Sending probabilities are untouched (they set the
+        per-slot success probability; the time coefficients set how many
+        repetitions buy the w.h.p. guarantee).
+        """
+        require_positive("factor", factor)
+        return replace(
+            self,
+            gamma=self.gamma * factor,
+            sigma=self.sigma * factor,
+            eta=self.eta * factor,
+            mu=self.mu * factor,
+            preset=f"{self.preset}*{factor:g}",
+        )
+
+    # -- concrete intervals --------------------------------------------------------------
+
+    def zeta(self, i: int) -> int:
+        """``zeta_0 = 1`` and ``zeta_i = Delta`` for ``i > 0`` (Fig. 1 header)."""
+        require_int("i", i, minimum=0)
+        return 1 if i == 0 else self.delta
+
+    @property
+    def log_term(self) -> float:
+        """The ``ln n`` factor (clamped at 1)."""
+        return _log_term(self.n)
+
+    @property
+    def listen_slots(self) -> int:
+        """Length of the listening phase, ``ceil(eta * Delta * ln n)`` (Fig. 1 l.2)."""
+        return math.ceil(self.eta * self.delta * self.log_term)
+
+    @property
+    def counter_threshold(self) -> int:
+        """Counter value that wins a color, ``ceil(sigma * Delta * ln n)`` (l.10)."""
+        return math.ceil(self.sigma * self.delta * self.log_term)
+
+    def reset_window(self, i: int) -> int:
+        """Half-width of the forbidden counter window, ``ceil(gamma*zeta_i*ln n)``."""
+        return math.ceil(self.gamma * self.zeta(i) * self.log_term)
+
+    @property
+    def serve_slots(self) -> int:
+        """Slots a leader spends answering one request, ``ceil(mu * ln n)`` (Fig. 2 l.13)."""
+        return math.ceil(self.mu * self.log_term)
+
+    @property
+    def state_spacing(self) -> int:
+        """Spacing of competition states per cluster color: ``phi(2R_T) + 1``.
+
+        A node granted cluster color ``tc`` starts competing in state
+        ``A_{tc * state_spacing}`` (Fig. 3 line 4).
+        """
+        return self.phi_2rt + 1
+
+    # -- sanity ---------------------------------------------------------------------------
+
+    def check_inequalities(self, strict_eta: bool = False) -> None:
+        """Verify the relations the analysis relies on.
+
+        Raises :class:`ConfigurationError` on violation.  ``strict_eta``
+        additionally enforces the paper's full listening-phase inequality
+        ``eta >= 2*gamma*phi(2R_T) + sigma + 1`` (the theoretical preset
+        satisfies it; practical presets intentionally do not).
+        """
+        if not self.sigma > 2.0 * self.gamma:
+            raise ConfigurationError(
+                f"sigma > 2*gamma violated: {self.sigma} <= {2 * self.gamma}"
+            )
+        if not self.mu >= self.gamma:
+            raise ConfigurationError(f"mu >= gamma violated: {self.mu} < {self.gamma}")
+        if strict_eta and not self.eta >= 2.0 * self.gamma * self.phi_2rt + self.sigma + 1.0:
+            raise ConfigurationError(
+                "eta >= 2*gamma*phi(2R_T) + sigma + 1 violated: "
+                f"{self.eta} < {2.0 * self.gamma * self.phi_2rt + self.sigma + 1.0}"
+            )
+
+    def describe(self) -> str:
+        """One-line summary of the concrete intervals for this (Delta, n)."""
+        return (
+            f"[{self.preset}] Delta={self.delta} n={self.n} | "
+            f"listen={self.listen_slots} threshold={self.counter_threshold} "
+            f"window0={self.reset_window(0)} serve={self.serve_slots} "
+            f"q_s={self.q_s:.4g} q_l={self.q_l:.4g} phi2RT={self.phi_2rt}"
+        )

@@ -1,0 +1,45 @@
+"""Distance-d coloring via power boosting (Section V of the paper).
+
+The paper's construction: set every node's transmit power to
+``d^alpha * P`` so the transmission range becomes ``d * R_T``, run the
+distance-1 coloring algorithm on the resulting unit disk graph
+``G^d = (V, E', d * R_T)``, then switch power back.  A proper coloring of
+``G^d`` is by definition a ``(d, .)``-coloring of ``G``, with palette
+``O(Delta_{G^d}) = O(d^2 * Delta)``.
+
+All algorithm constants must be re-tuned for ``R_T' = d * R_T`` and
+``Delta' = Delta_{G^d}`` — :func:`run_distance_d_coloring` gets that for
+free by letting the runner derive constants from the boosted graph.
+"""
+
+from __future__ import annotations
+
+from .._validation import require_positive
+from ..geometry.deployment import Deployment
+from ..sinr.params import PhysicalParams
+from .result import MWColoringResult
+from .runner import run_mw_coloring
+
+__all__ = ["run_distance_d_coloring"]
+
+
+def run_distance_d_coloring(
+    deployment: Deployment,
+    params: PhysicalParams,
+    d: float,
+    **runner_kwargs,
+) -> MWColoringResult:
+    """Compute a ``(d, O(d^2 Delta))``-coloring of the radius-``R_T`` UDG.
+
+    Runs the MW algorithm over the boosted physical layer (power scaled by
+    ``d^alpha``).  The returned result's graph is ``G^d`` (radius
+    ``d * R_T``); the coloring is therefore valid at Euclidean distance
+    ``d * params.r_t`` of the *original* graph — check it with
+    ``result.coloring.is_valid(positions, params.r_t, d=d)``.
+
+    ``runner_kwargs`` are forwarded to
+    :func:`repro.coloring.runner.run_mw_coloring`.
+    """
+    require_positive("d", d)
+    boosted = params.boosted(d)
+    return run_mw_coloring(deployment, boosted, **runner_kwargs)

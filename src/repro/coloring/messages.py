@@ -1,0 +1,61 @@
+"""The three message families of the MW algorithm (Figures 1-3).
+
+* :class:`MsgA` — ``M_A^i(v, c_v)``: a competitor in state ``A_i``
+  advertises its current counter.
+* :class:`MsgC` — ``M_C^i(v)``: a color holder announces color ``i``;
+  leaders (``i = 0``) may target it as ``M_C^0(v, w, tc)`` to grant cluster
+  color ``tc`` to requester ``w``.
+* :class:`MsgR` — ``M_R(v, L(v))``: a clustered node requests a cluster
+  color from its leader.
+
+Messages are frozen dataclasses so they are hashable, comparable and safe
+to share between simulated nodes (nothing is mutated in flight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MsgA", "MsgC", "MsgR"]
+
+
+@dataclass(frozen=True)
+class MsgA:
+    """``M_A^i(sender, counter)`` — Fig. 1 line 11."""
+
+    i: int
+    sender: int
+    counter: int
+
+
+@dataclass(frozen=True)
+class MsgC:
+    """``M_C^i(sender)`` or, for leaders, ``M_C^0(sender, target, tc)``.
+
+    ``target``/``tc`` are None for the untargeted announcements of
+    Fig. 2 lines 3 and 9, and set for the grant messages of line 13.
+    """
+
+    i: int
+    sender: int
+    target: int | None = None
+    tc: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.target is None) != (self.tc is None):
+            raise ValueError("target and tc must be set together")
+        if self.tc is not None and self.i != 0:
+            raise ValueError("only leaders (i = 0) send targeted grants")
+
+    @property
+    def is_grant(self) -> bool:
+        """Whether this is a targeted cluster-color grant (Fig. 2 line 13)."""
+        return self.target is not None
+
+
+@dataclass(frozen=True)
+class MsgR:
+    """``M_R(sender, leader)`` — Fig. 3 line 2."""
+
+    sender: int
+    leader: int

@@ -1,0 +1,295 @@
+"""One-call harness for running the MW coloring.
+
+:func:`run_mw_coloring` wires the whole stack — deployment, unit disk
+graph, channel, constants, node processes, wake-up schedule, observers —
+and returns an :class:`~repro.coloring.result.MWColoringResult`.
+
+The harness is the public entry point used by the examples, the tests and
+every experiment; keeping the wiring in one place guarantees all of them
+run the identical protocol.  Execution uses the event-driven engine
+(:class:`~repro.simulation.event_sim.EventSimulator`), which is
+statistically identical to the per-slot loop but only pays for active
+slots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import require_in, require_int
+from ..errors import ConfigurationError
+from ..geometry.deployment import Deployment
+from ..geometry.density import phi_empirical
+from ..graphs.coloring import Coloring
+from ..graphs.udg import UnitDiskGraph
+from ..sinr.channel import Channel, CollisionFreeChannel, GraphChannel, SINRChannel
+from ..sinr.params import PhysicalParams
+from ..simulation.event_sim import EventSimulator
+from ..simulation.scheduler import WakeupSchedule
+from ..simulation.trace import SlotObserver, TraceRecorder
+from .audit import IndependenceAuditor
+from .constants import AlgorithmConstants
+from .mw_node import MWColoringNode, MWSharedConfig
+from .result import MWColoringResult
+
+__all__ = [
+    "build_constants",
+    "default_max_slots",
+    "make_channel",
+    "run_mw_coloring",
+    "run_mw_coloring_audited",
+]
+
+
+def default_max_slots(constants: AlgorithmConstants) -> int:
+    """A generous slot budget for one run with the given constants.
+
+    Mirrors the structure of the Theorem 2 time bound: each of the at most
+    ``phi(2R_T) + 2`` visited ``A`` states costs a listening phase plus a
+    worst-case counter climb from ``chi``'s deepest restart (Lemma 5), the
+    ``R`` state costs the leader draining up to ``Delta`` requests, and the
+    whole budget is tripled for slack.
+    """
+    per_state = (
+        constants.listen_slots
+        + constants.counter_threshold
+        + 2 * constants.reset_window(1) * (constants.phi_2rt + 1)
+    )
+    request_phase = constants.delta * constants.serve_slots + constants.listen_slots
+    total = (constants.phi_2rt + 2) * per_state + request_phase
+    return 3 * total + 1000
+
+
+def build_constants(
+    preset: str,
+    graph: UnitDiskGraph,
+    params: PhysicalParams,
+    n: int,
+) -> AlgorithmConstants:
+    """Constants for ``preset`` in {"practical", "theoretical"} on this graph.
+
+    The practical preset measures the realised ``phi(2R_T)`` of the
+    deployment (the state-spacing constant must dominate the true number of
+    same-cluster-color competitors for the palette argument of Theorem 2).
+    """
+    require_in("preset", preset, ("practical", "theoretical"))
+    delta = max(1, graph.max_degree)
+    if preset == "theoretical":
+        return AlgorithmConstants.theoretical(params, delta, n)
+    phi_2rt = max(
+        2, phi_empirical(graph.positions, 2.0 * graph.radius, graph.radius)
+    )
+    return AlgorithmConstants.practical(delta, n, phi_2rt=phi_2rt)
+
+
+def make_channel(
+    kind: str,
+    positions: np.ndarray,
+    params: PhysicalParams,
+    half_duplex: bool = True,
+) -> Channel:
+    """Channel factory: ``"sinr"``, ``"graph"`` or ``"collision_free"``."""
+    require_in("channel", kind, ("sinr", "graph", "collision_free"))
+    if kind == "sinr":
+        return SINRChannel(positions, params, half_duplex=half_duplex)
+    if kind == "graph":
+        return GraphChannel(positions, params.r_t, half_duplex=half_duplex)
+    return CollisionFreeChannel(positions, params.r_t, half_duplex=half_duplex)
+
+
+def run_mw_coloring(
+    deployment: Deployment | np.ndarray,
+    params: PhysicalParams | None = None,
+    *,
+    constants: AlgorithmConstants | None = None,
+    preset: str = "practical",
+    seed: int = 0,
+    schedule: WakeupSchedule | None = None,
+    channel: str | Channel = "sinr",
+    max_slots: int | None = None,
+    trace: bool = False,
+    observers: Sequence[SlotObserver] = (),
+    decision_listeners: Sequence[Callable[[int, int, int], None]] = (),
+    half_duplex: bool = True,
+) -> MWColoringResult:
+    """Run the MW coloring algorithm end to end.
+
+    Parameters
+    ----------
+    deployment:
+        Node positions (a :class:`Deployment` or a ``(n, 2)`` array).
+    params:
+        Physical constants; defaults to the library defaults normalised to
+        ``R_T = 1`` so deployment coordinates read in transmission-range
+        units.
+    constants:
+        Explicit algorithm constants; when omitted they are derived from
+        ``preset`` ("practical" measures the deployment, "theoretical" uses
+        the paper-exact values — expect an astronomically long run).
+    seed:
+        Root seed for all node coins (and nothing else).
+    schedule:
+        Wake-up schedule; defaults to synchronous wake-up at slot 0.
+    channel:
+        ``"sinr"`` (the paper's model), ``"graph"`` (the original MW model),
+        ``"collision_free"``, or a prebuilt :class:`Channel`.
+    max_slots:
+        Hard slot budget; defaults to :func:`default_max_slots`.
+    trace:
+        Record per-node state-transition events on the result.
+    observers:
+        End-of-slot observers (called on active slots).
+    decision_listeners:
+        Callables ``(slot, node, color)`` fired at every color decision.
+
+    Returns
+    -------
+    MWColoringResult
+        ``result.stats.completed`` says whether every node decided within
+        the budget.
+    """
+    result, _ = _run(
+        deployment,
+        params,
+        constants=constants,
+        preset=preset,
+        seed=seed,
+        schedule=schedule,
+        channel=channel,
+        max_slots=max_slots,
+        trace=trace,
+        audit_independence=False,
+        observers=observers,
+        decision_listeners=decision_listeners,
+        half_duplex=half_duplex,
+    )
+    return result
+
+
+def run_mw_coloring_audited(
+    deployment: Deployment | np.ndarray,
+    params: PhysicalParams | None = None,
+    **kwargs,
+) -> tuple[MWColoringResult, IndependenceAuditor]:
+    """Like :func:`run_mw_coloring` but with a live Theorem 1 audit attached.
+
+    Returns the result together with the auditor; ``auditor.clean`` is the
+    empirical Theorem 1 verdict for the run.
+    """
+    kwargs["audit_independence"] = True
+    return _run(deployment, params, **kwargs)
+
+
+def _run(
+    deployment: Deployment | np.ndarray,
+    params: PhysicalParams | None = None,
+    *,
+    constants: AlgorithmConstants | None = None,
+    preset: str = "practical",
+    seed: int = 0,
+    schedule: WakeupSchedule | None = None,
+    channel: str | Channel = "sinr",
+    max_slots: int | None = None,
+    trace: bool = False,
+    audit_independence: bool = False,
+    observers: Sequence[SlotObserver] = (),
+    decision_listeners: Sequence[Callable[[int, int, int], None]] = (),
+    half_duplex: bool = True,
+) -> tuple[MWColoringResult, IndependenceAuditor | None]:
+    positions = (
+        deployment.positions if isinstance(deployment, Deployment) else deployment
+    )
+    if params is None:
+        params = PhysicalParams().with_r_t(1.0)
+
+    graph = UnitDiskGraph(positions, params.r_t)
+    n = graph.n
+    if n == 0:
+        raise ConfigurationError("cannot color an empty deployment")
+
+    if constants is None:
+        constants = build_constants(preset, graph, params, n)
+    if constants.n != n:
+        raise ConfigurationError(
+            f"constants tuned for n={constants.n} but deployment has n={n}"
+        )
+
+    if isinstance(channel, Channel):
+        channel_obj = channel
+    else:
+        channel_obj = make_channel(channel, graph.positions, params, half_duplex)
+
+    if schedule is None:
+        schedule = WakeupSchedule.synchronous(n)
+
+    listeners = list(decision_listeners)
+    auditor = None
+    if audit_independence:
+        auditor = IndependenceAuditor(positions=graph.positions, radius=graph.radius)
+        listeners.append(auditor.on_decision)
+
+    recorder = TraceRecorder(enabled=trace)
+    shared = MWSharedConfig(
+        constants=constants,
+        trace=recorder if trace else None,
+        decision_listeners=tuple(listeners),
+    )
+    nodes = [MWColoringNode(node_id=i, config=shared) for i in range(n)]
+
+    simulator = EventSimulator(
+        channel=channel_obj,
+        nodes=nodes,
+        schedule=schedule,
+        seed=seed,
+        observers=list(observers),
+    )
+    budget = max_slots if max_slots is not None else default_max_slots(constants)
+    require_int("max_slots", budget, minimum=1)
+    stats = simulator.run(budget)
+
+    colors = np.asarray(
+        [node.color if node.color is not None else -1 for node in nodes],
+        dtype=np.int64,
+    )
+    decision_slots = np.asarray(
+        [
+            node.decision_slot if node.decision_slot is not None else -1
+            for node in nodes
+        ],
+        dtype=np.int64,
+    )
+
+    # An incomplete run leaves -1 colors; clamp them into a sentinel color
+    # beyond the palette so the Coloring type (non-negative) accepts them
+    # while adjacent undecideds still fail every validity check loudly.
+    reported = colors.copy()
+    if (reported < 0).any():
+        sentinel = (reported.max(initial=0)) + 1
+        reported[reported < 0] = sentinel
+
+    leaders = np.flatnonzero(colors == 0)
+    result = MWColoringResult(
+        graph=graph,
+        coloring=Coloring(reported),
+        leaders=leaders,
+        decision_slots=decision_slots,
+        stats=stats,
+        constants=constants,
+        trace=recorder,
+    )
+    return result, auditor
+
+
+def slots_bound_estimate(constants: AlgorithmConstants) -> int:
+    """Theorem 2's bound shape evaluated with the run's own constants.
+
+    ``O(phi(2R_T)^3 * phi(R_T+R_I) * Delta ln n)`` reduces, once the
+    coefficients are folded into gamma/sigma/eta, to "number of visited
+    states times per-state cost"; exposed as the reference column of the
+    time-scaling experiment (EXP-2).
+    """
+    per_state = constants.listen_slots + constants.counter_threshold
+    return math.ceil((constants.phi_2rt + 1) * per_state)

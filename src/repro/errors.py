@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised deliberately by the library derive from :class:`ReproError`
+so that callers can catch library failures without masking programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent combination of parameters."""
+
+
+class DeploymentError(ReproError):
+    """A node deployment could not be generated or is malformed."""
+
+
+class SimulationError(ReproError):
+    """The slotted simulator reached an illegal state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine received an impossible event."""
+
+
+class ColoringError(ReproError):
+    """A coloring is malformed or violates a requested validity check."""
+
+
+class ScheduleError(ReproError):
+    """A MAC schedule is malformed or cannot be constructed."""

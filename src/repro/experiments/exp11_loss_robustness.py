@@ -1,0 +1,70 @@
+"""EXP-11 — extension: robustness to unmodeled Bernoulli message loss.
+
+Wrap the SINR channel in a per-delivery eraser and sweep the drop rate;
+the repetition windows should absorb moderate loss for free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..coloring.runner import run_mw_coloring_audited
+from ..geometry.deployment import uniform_deployment
+from ..sinr.channel import SINRChannel
+from ..sinr.lossy import LossyChannel
+from ..sinr.params import PhysicalParams
+
+TITLE = "EXP-11: MW under injected Bernoulli loss (extension)"
+COLUMNS = ["drop", "seed", "slots", "proper", "clean", "completed", "ok", "dropped"]
+DEFAULT_DROPS = (0.0, 0.15, 0.3, 0.45)
+
+__all__ = ["COLUMNS", "DEFAULT_DROPS", "TITLE", "check", "run", "run_single"]
+
+
+def run_single(
+    seed: int, drop: float, params: PhysicalParams | None = None
+) -> dict:
+    """One audited run with the given injected drop rate."""
+    if params is None:
+        params = PhysicalParams().with_r_t(1.0)
+    deployment = uniform_deployment(70, 5.5, seed=seed)
+    channel = LossyChannel(
+        SINRChannel(deployment.positions, params), drop=drop, seed=seed + 1
+    )
+    result, auditor = run_mw_coloring_audited(
+        deployment, params, seed=seed + 40, channel=channel
+    )
+    return {
+        "drop": drop,
+        "seed": seed,
+        "slots": result.slots_to_complete,
+        "proper": result.is_proper(),
+        "clean": auditor.clean,
+        "completed": result.stats.completed,
+        "ok": result.stats.completed and result.is_proper() and auditor.clean,
+        "dropped": channel.dropped,
+    }
+
+
+def run(
+    seeds: Sequence[int] = (0, 1),
+    drops: Sequence[float] = DEFAULT_DROPS,
+    params: PhysicalParams | None = None,
+) -> list[dict]:
+    """The full drop x seed grid."""
+    return [run_single(seed, drop, params) for drop in drops for seed in seeds]
+
+
+def check(rows: Sequence[dict]) -> None:
+    """Robustness criteria: correct through 30% loss, time inflated."""
+    assert rows, "no experiment rows"
+    assert all(
+        row["ok"] for row in rows if row["drop"] <= 0.3
+    ), "failure at <= 30% injected loss"
+
+    def mean_slots(drop):
+        bucket = [r["slots"] for r in rows if r["drop"] == drop]
+        return sum(bucket) / len(bucket)
+
+    drops = sorted({row["drop"] for row in rows})
+    assert mean_slots(drops[0]) <= mean_slots(0.3), "loss bought time?!"

@@ -1,0 +1,49 @@
+"""Geometric substrate: points, regions, spatial indexing, deployments.
+
+This package contains everything the rest of the library needs to reason
+about nodes placed in the Euclidean plane:
+
+* :mod:`repro.geometry.point` — distance computations on coordinate arrays.
+* :mod:`repro.geometry.region` — discs and annuli with area helpers, used by
+  the interference-bounding arguments of the paper (Lemma 3, Theorem 3).
+* :mod:`repro.geometry.grid_index` — a uniform-grid spatial index giving
+  expected O(1) range queries for bounded-density deployments.
+* :mod:`repro.geometry.deployment` — synthetic node-placement generators.
+* :mod:`repro.geometry.density` — the packing bound ``phi(R)`` of the paper
+  and an empirical estimator for it.
+"""
+
+from .deployment import (
+    Deployment,
+    clustered_deployment,
+    corridor_deployment,
+    grid_deployment,
+    perturbed_grid_deployment,
+    poisson_deployment,
+    ring_deployment,
+    uniform_deployment,
+)
+from .density import phi_empirical, phi_upper_bound
+from .grid_index import GridIndex
+from .point import chebyshev_distance, distance, distance_matrix, pairwise_distances
+from .region import Annulus, Disc
+
+__all__ = [
+    "Annulus",
+    "Deployment",
+    "Disc",
+    "GridIndex",
+    "chebyshev_distance",
+    "clustered_deployment",
+    "corridor_deployment",
+    "distance",
+    "distance_matrix",
+    "grid_deployment",
+    "pairwise_distances",
+    "perturbed_grid_deployment",
+    "phi_empirical",
+    "phi_upper_bound",
+    "poisson_deployment",
+    "ring_deployment",
+    "uniform_deployment",
+]

@@ -1,0 +1,242 @@
+"""Synthetic node deployments.
+
+The paper assumes "nodes are placed arbitrarily in the plane"; its theorems
+hold for every placement.  Experiments therefore sweep several placement
+families of increasing adversarialness:
+
+* :func:`uniform_deployment` — n points i.i.d. uniform in a square.
+* :func:`poisson_deployment` — homogeneous Poisson point process.
+* :func:`grid_deployment` / :func:`perturbed_grid_deployment` — regular and
+  jittered lattices (low-variance density).
+* :func:`clustered_deployment` — Thomas-process-like clusters producing the
+  dense hot spots that stress independence maintenance (Theorem 1).
+
+A :class:`Deployment` wraps the position array together with the metadata
+needed to rebuild it (kind, seed, extent), so every experiment row is
+reproducible from its parameters alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import require_int, require_nonnegative, require_positive
+from ..errors import DeploymentError
+from .point import as_positions
+
+__all__ = [
+    "Deployment",
+    "clustered_deployment",
+    "corridor_deployment",
+    "grid_deployment",
+    "perturbed_grid_deployment",
+    "poisson_deployment",
+    "ring_deployment",
+    "uniform_deployment",
+]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """An immutable set of node positions in a bounding square.
+
+    Attributes
+    ----------
+    positions:
+        ``(n, 2)`` float64 array of coordinates.
+    extent:
+        Side length of the deployment square ``[0, extent]^2`` (coordinates
+        are not required to stay inside it for perturbed families, it is
+        descriptive metadata).
+    kind:
+        Name of the generator family (``"uniform"``, ``"poisson"``, ...).
+    seed:
+        Seed the generator was invoked with, or ``None`` for deterministic
+        families.
+    """
+
+    positions: np.ndarray
+    extent: float
+    kind: str = "custom"
+    seed: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "positions", as_positions(self.positions))
+        require_positive("extent", self.extent)
+        self.positions.setflags(write=False)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.positions)
+
+    def subset(self, indices: np.ndarray | list) -> "Deployment":
+        """A new deployment restricted to ``indices`` (order preserved)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return Deployment(
+            positions=np.array(self.positions[indices]),
+            extent=self.extent,
+            kind=f"{self.kind}/subset",
+            seed=self.seed,
+            metadata=dict(self.metadata),
+        )
+
+
+def uniform_deployment(n: int, extent: float, seed: int) -> Deployment:
+    """``n`` points i.i.d. uniform in the square ``[0, extent]^2``."""
+    require_int("n", n, minimum=1)
+    require_positive("extent", extent)
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, extent, size=(n, 2))
+    return Deployment(positions, extent, kind="uniform", seed=seed)
+
+
+def poisson_deployment(intensity: float, extent: float, seed: int) -> Deployment:
+    """Homogeneous Poisson point process of the given ``intensity``.
+
+    The realised number of points is ``Poisson(intensity * extent^2)``;
+    a realisation with zero points raises :class:`DeploymentError` because
+    every consumer of a deployment requires at least one node.
+    """
+    require_positive("intensity", intensity)
+    require_positive("extent", extent)
+    rng = np.random.default_rng(seed)
+    n = int(rng.poisson(intensity * extent * extent))
+    if n == 0:
+        raise DeploymentError(
+            "Poisson deployment realised zero points; "
+            "increase intensity/extent or change the seed"
+        )
+    positions = rng.uniform(0.0, extent, size=(n, 2))
+    return Deployment(
+        positions, extent, kind="poisson", seed=seed, metadata={"intensity": intensity}
+    )
+
+
+def grid_deployment(side: int, spacing: float) -> Deployment:
+    """A ``side x side`` regular lattice with the given ``spacing``."""
+    require_int("side", side, minimum=1)
+    require_positive("spacing", spacing)
+    axis = np.arange(side, dtype=np.float64) * spacing
+    xs, ys = np.meshgrid(axis, axis)
+    positions = np.column_stack([xs.ravel(), ys.ravel()])
+    extent = max(spacing * (side - 1), spacing)
+    return Deployment(
+        positions, extent, kind="grid", seed=None, metadata={"spacing": spacing}
+    )
+
+
+def perturbed_grid_deployment(
+    side: int, spacing: float, jitter: float, seed: int
+) -> Deployment:
+    """A regular lattice with i.i.d. uniform jitter of magnitude ``jitter``.
+
+    ``jitter`` is the half-width of the per-coordinate uniform perturbation;
+    ``jitter = 0`` reproduces :func:`grid_deployment` exactly.
+    """
+    require_nonnegative("jitter", jitter)
+    base = grid_deployment(side, spacing)
+    rng = np.random.default_rng(seed)
+    offsets = rng.uniform(-jitter, jitter, size=base.positions.shape)
+    return Deployment(
+        base.positions + offsets,
+        base.extent,
+        kind="perturbed_grid",
+        seed=seed,
+        metadata={"spacing": spacing, "jitter": jitter},
+    )
+
+
+def clustered_deployment(
+    clusters: int,
+    points_per_cluster: int,
+    extent: float,
+    cluster_radius: float,
+    seed: int,
+) -> Deployment:
+    """Thomas-process-like clusters: dense Gaussian blobs around random centres.
+
+    Cluster centres are uniform in the square; members are offset by an
+    isotropic Gaussian of standard deviation ``cluster_radius``.  This is the
+    near-worst-case family for independence maintenance because many nodes
+    compete for leadership inside each blob.
+    """
+    require_int("clusters", clusters, minimum=1)
+    require_int("points_per_cluster", points_per_cluster, minimum=1)
+    require_positive("extent", extent)
+    require_positive("cluster_radius", cluster_radius)
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, extent, size=(clusters, 2))
+    offsets = rng.normal(
+        0.0, cluster_radius, size=(clusters, points_per_cluster, 2)
+    )
+    positions = (centers[:, None, :] + offsets).reshape(-1, 2)
+    return Deployment(
+        positions,
+        extent,
+        kind="clustered",
+        seed=seed,
+        metadata={
+            "clusters": clusters,
+            "points_per_cluster": points_per_cluster,
+            "cluster_radius": cluster_radius,
+        },
+    )
+
+
+def corridor_deployment(
+    n: int, length: float, width: float, seed: int
+) -> Deployment:
+    """``n`` points uniform in a thin ``length x width`` corridor.
+
+    Corridors approximate 1-D topologies (roads, pipelines, tunnels): long
+    hop chains, small degrees, large diameters — the opposite stress from
+    clustered blobs, and the regime where flooding/convergecast rounds are
+    maximal.
+    """
+    require_int("n", n, minimum=1)
+    require_positive("length", length)
+    require_positive("width", width)
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0.0, length, size=n)
+    ys = rng.uniform(0.0, width, size=n)
+    return Deployment(
+        np.column_stack([xs, ys]),
+        extent=length,
+        kind="corridor",
+        seed=seed,
+        metadata={"length": length, "width": width},
+    )
+
+
+def ring_deployment(
+    n: int, radius: float, jitter: float, seed: int
+) -> Deployment:
+    """``n`` points on a circle of ``radius`` with radial Gaussian ``jitter``.
+
+    Rings have constant degree and linear diameter; they exercise the
+    wrap-around case of ring-sum interference arguments (every node sees
+    two "directions" of interferers).
+    """
+    require_int("n", n, minimum=1)
+    require_positive("radius", radius)
+    require_nonnegative("jitter", jitter)
+    rng = np.random.default_rng(seed)
+    angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, size=n))
+    radii = radius + rng.normal(0.0, jitter, size=n) if jitter else np.full(n, radius)
+    positions = np.column_stack(
+        [radius + radii * np.cos(angles), radius + radii * np.sin(angles)]
+    )
+    return Deployment(
+        positions,
+        extent=2.0 * radius,
+        kind="ring",
+        seed=seed,
+        metadata={"radius": radius, "jitter": jitter},
+    )

@@ -1,0 +1,124 @@
+"""A uniform-grid spatial index over a fixed point set.
+
+Unit-disk-graph construction and channel bookkeeping need many
+"all points within radius r of p" queries.  For the bounded-density
+deployments this library works with, bucketing points into square cells of
+side ``cell_size`` answers such queries in expected O(1 + output) time.
+
+The index is immutable: it is built once over a position array and then
+queried.  This matches how the library uses it (deployments never move) and
+keeps the implementation simple and obviously correct.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterator
+
+import numpy as np
+
+from .._validation import require_positive
+from ..errors import ConfigurationError
+from .point import as_positions
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """Immutable uniform-grid index over a ``(n, 2)`` position array.
+
+    Parameters
+    ----------
+    positions:
+        The point set, shape ``(n, 2)``.
+    cell_size:
+        Side length of the square grid cells.  Choosing the typical query
+        radius gives the classic 3x3-cell neighbourhood scan.
+    """
+
+    def __init__(self, positions: np.ndarray, cell_size: float) -> None:
+        self._positions = as_positions(positions)
+        self._cell_size = require_positive("cell_size", cell_size)
+        cells: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for index, (x, y) in enumerate(self._positions):
+            cells[self._cell_of(x, y)].append(index)
+        # Freeze buckets as arrays for fast vectorised gathers.
+        self._cells: dict[tuple[int, int], np.ndarray] = {
+            key: np.asarray(bucket, dtype=np.intp) for key, bucket in cells.items()
+        }
+
+    @property
+    def positions(self) -> np.ndarray:
+        """The indexed position array (do not mutate)."""
+        return self._positions
+
+    @property
+    def cell_size(self) -> float:
+        """Side length of the grid cells."""
+        return self._cell_size
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        return (math.floor(x / self._cell_size), math.floor(y / self._cell_size))
+
+    def _candidate_indices(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Indices in all grid cells intersecting the query disc."""
+        cx, cy = float(center[0]), float(center[1])
+        reach = math.ceil(radius / self._cell_size)
+        base_i, base_j = self._cell_of(cx, cy)
+        buckets = []
+        for di in range(-reach, reach + 1):
+            for dj in range(-reach, reach + 1):
+                bucket = self._cells.get((base_i + di, base_j + dj))
+                if bucket is not None:
+                    buckets.append(bucket)
+        if not buckets:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(buckets)
+
+    def query_disc(self, center: np.ndarray | tuple, radius: float) -> np.ndarray:
+        """Indices of all points within ``radius`` of ``center`` (closed disc).
+
+        The returned indices are sorted ascending.
+        """
+        if radius < 0:
+            raise ConfigurationError(f"query radius must be >= 0, got {radius}")
+        center = np.asarray(center, dtype=np.float64)
+        candidates = self._candidate_indices(center, radius)
+        if candidates.size == 0:
+            return candidates
+        diff = self._positions[candidates] - center[None, :]
+        inside = np.einsum("ij,ij->i", diff, diff) <= radius * radius
+        return np.sort(candidates[inside])
+
+    def query_annulus(
+        self, center: np.ndarray | tuple, inner: float, outer: float
+    ) -> np.ndarray:
+        """Indices of points with ``inner <= distance <= outer`` from ``center``."""
+        if inner < 0 or outer < inner:
+            raise ConfigurationError(
+                f"annulus radii must satisfy 0 <= inner <= outer, got {inner}, {outer}"
+            )
+        center = np.asarray(center, dtype=np.float64)
+        candidates = self._candidate_indices(center, outer)
+        if candidates.size == 0:
+            return candidates
+        diff = self._positions[candidates] - center[None, :]
+        sq = np.einsum("ij,ij->i", diff, diff)
+        inside = (sq >= inner * inner) & (sq <= outer * outer)
+        return np.sort(candidates[inside])
+
+    def neighbors_within(self, index: int, radius: float) -> np.ndarray:
+        """Indices of points within ``radius`` of point ``index``, excluding itself."""
+        found = self.query_disc(self._positions[index], radius)
+        return found[found != index]
+
+    def iter_pairs_within(self, radius: float) -> Iterator[tuple[int, int]]:
+        """Yield every unordered pair ``(i, j)`` with ``i < j`` at distance <= radius."""
+        for i in range(len(self._positions)):
+            for j in self.neighbors_within(i, radius):
+                if int(j) > i:
+                    yield i, int(j)

@@ -1,0 +1,74 @@
+"""Distance computations on planar coordinate arrays.
+
+Throughout the library node positions are stored as a ``(n, 2)`` float64
+numpy array; a "point" is simply a length-2 array (or any 2-sequence).
+These helpers centralise the distance math so every module computes the
+Euclidean metric the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "as_positions",
+    "chebyshev_distance",
+    "distance",
+    "distance_matrix",
+    "pairwise_distances",
+]
+
+
+def as_positions(positions: np.ndarray | list | tuple) -> np.ndarray:
+    """Coerce ``positions`` into a ``(n, 2)`` float64 array.
+
+    Raises :class:`~repro.errors.ConfigurationError` if the input cannot be
+    interpreted as a list of planar points or contains non-finite values.
+    """
+    array = np.asarray(positions, dtype=np.float64)
+    if array.ndim == 1 and array.size == 0:
+        return array.reshape(0, 2)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ConfigurationError(
+            f"positions must have shape (n, 2), got {array.shape}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError("positions must contain only finite coordinates")
+    return array
+
+
+def distance(p: np.ndarray | tuple, q: np.ndarray | tuple) -> float:
+    """Euclidean distance between two planar points.
+
+    This is the paper's ``delta(u, v)``.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    return float(np.hypot(p[0] - q[0], p[1] - q[1]))
+
+
+def chebyshev_distance(p: np.ndarray | tuple, q: np.ndarray | tuple) -> float:
+    """L-infinity distance between two planar points (used by the grid index)."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    return float(max(abs(p[0] - q[0]), abs(p[1] - q[1])))
+
+
+def distance_matrix(sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Matrix of Euclidean distances, shape ``(len(sources), len(targets))``.
+
+    Both arguments are ``(k, 2)`` coordinate arrays.  The computation is fully
+    vectorised; this is the hot path of the SINR channel.
+    """
+    sources = as_positions(sources)
+    targets = as_positions(targets)
+    diff = sources[:, None, :] - targets[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Symmetric ``(n, n)`` matrix of distances among one point set."""
+    positions = as_positions(positions)
+    return distance_matrix(positions, positions)

@@ -1,0 +1,115 @@
+"""Planar regions used by the paper's interference arguments.
+
+The paper bounds interference by partitioning the plane into annuli ("rings")
+``R_l`` around a receiver and counting how many independent or same-coloured
+nodes can fit in each ring (proof of Lemma 3 and Theorem 3).  :class:`Disc`
+and :class:`Annulus` make those constructions explicit and testable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_finite, require_nonnegative
+from ..errors import ConfigurationError
+from .point import as_positions
+
+__all__ = ["Annulus", "Disc"]
+
+
+@dataclass(frozen=True)
+class Disc:
+    """A closed disc of radius ``radius`` centred at ``(cx, cy)``."""
+
+    cx: float
+    cy: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        require_finite("cx", self.cx)
+        require_finite("cy", self.cy)
+        require_nonnegative("radius", self.radius)
+
+    @property
+    def center(self) -> np.ndarray:
+        """Centre as a length-2 array."""
+        return np.array([self.cx, self.cy], dtype=np.float64)
+
+    @property
+    def area(self) -> float:
+        """Area ``pi * r^2``."""
+        return math.pi * self.radius**2
+
+    def contains(self, point: np.ndarray | tuple) -> bool:
+        """Whether ``point`` lies in the closed disc."""
+        px, py = float(point[0]), float(point[1])
+        return math.hypot(px - self.cx, py - self.cy) <= self.radius
+
+    def contains_many(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask of which rows of ``positions`` lie in the closed disc."""
+        positions = as_positions(positions)
+        dx = positions[:, 0] - self.cx
+        dy = positions[:, 1] - self.cy
+        return dx * dx + dy * dy <= self.radius**2
+
+
+@dataclass(frozen=True)
+class Annulus:
+    """A closed annulus (ring) ``inner <= distance(center, .) <= outer``.
+
+    This is the paper's ring ``R_l = {v : l*R_I <= delta(u, v) <= (l+1)*R_I}``
+    used in the proof of Lemma 3, and ``H_{l,d}`` in Theorem 3.
+    """
+
+    cx: float
+    cy: float
+    inner: float
+    outer: float
+
+    def __post_init__(self) -> None:
+        require_finite("cx", self.cx)
+        require_finite("cy", self.cy)
+        require_nonnegative("inner", self.inner)
+        require_nonnegative("outer", self.outer)
+        if self.outer < self.inner:
+            raise ConfigurationError(
+                f"annulus outer radius {self.outer} < inner radius {self.inner}"
+            )
+
+    @property
+    def center(self) -> np.ndarray:
+        """Centre as a length-2 array."""
+        return np.array([self.cx, self.cy], dtype=np.float64)
+
+    @property
+    def area(self) -> float:
+        """Area ``pi * (outer^2 - inner^2)``."""
+        return math.pi * (self.outer**2 - self.inner**2)
+
+    def expanded(self, margin: float) -> "Annulus":
+        """The extended ring grown by ``margin`` on both sides.
+
+        Mirrors the paper's ``R_l^+`` (Lemma 3) and ``H_{l,d}^+`` (Theorem 3),
+        with the inner radius clamped at zero.
+        """
+        require_nonnegative("margin", margin)
+        return Annulus(
+            self.cx, self.cy, max(0.0, self.inner - margin), self.outer + margin
+        )
+
+    def contains(self, point: np.ndarray | tuple) -> bool:
+        """Whether ``point`` lies in the closed annulus."""
+        px, py = float(point[0]), float(point[1])
+        r = math.hypot(px - self.cx, py - self.cy)
+        return self.inner <= r <= self.outer
+
+    def contains_many(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask of which rows of ``positions`` lie in the annulus."""
+        positions = as_positions(positions)
+        dx = positions[:, 0] - self.cx
+        dy = positions[:, 1] - self.cy
+        sq = dx * dx + dy * dy
+        return (sq >= self.inner**2) & (sq <= self.outer**2)

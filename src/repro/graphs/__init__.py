@@ -1,0 +1,28 @@
+"""Graph substrate: unit disk graphs, graph powers, colorings.
+
+* :mod:`repro.graphs.udg` — unit disk graph construction over a deployment.
+* :mod:`repro.graphs.power` — the distance-``d`` graph ``G^d`` used by the
+  paper's distance-d coloring construction (Section V).
+* :mod:`repro.graphs.independent` — independence checks and greedy MIS.
+* :mod:`repro.graphs.coloring` — the :class:`Coloring` value type with
+  distance-``d`` validity checking.
+"""
+
+from .bfs import bfs_distances, bfs_tree, diameter, eccentricity
+from .coloring import Coloring
+from .independent import greedy_mis, is_independent_set, violating_pairs
+from .power import power_graph
+from .udg import UnitDiskGraph
+
+__all__ = [
+    "Coloring",
+    "UnitDiskGraph",
+    "bfs_distances",
+    "bfs_tree",
+    "diameter",
+    "eccentricity",
+    "greedy_mis",
+    "is_independent_set",
+    "power_graph",
+    "violating_pairs",
+]

@@ -1,0 +1,74 @@
+"""Breadth-first-search utilities over unit disk graphs.
+
+Hop distances, eccentricities and diameters are the reference quantities
+the message-passing experiments verify against (flooding hop counts, BFS
+tree depths, leader-election round requirements).  Centralising them here
+keeps the tests and the examples from re-implementing BFS ad hoc.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .udg import UnitDiskGraph
+
+__all__ = ["bfs_distances", "bfs_tree", "diameter", "eccentricity"]
+
+
+def bfs_distances(graph: UnitDiskGraph, source: int) -> np.ndarray:
+    """Hop distances from ``source``; unreachable nodes get -1."""
+    if not 0 <= source < graph.n:
+        raise ConfigurationError(
+            f"source {source} out of range for graph with {graph.n} nodes"
+        )
+    dist = np.full(graph.n, -1, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            v = int(v)
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_tree(graph: UnitDiskGraph, source: int) -> np.ndarray:
+    """BFS parents from ``source``: ``parent[source] = source``, -1 if unreachable.
+
+    Ties (several shortest-path predecessors) resolve to the
+    smallest-index parent, making the tree canonical and comparable.
+    """
+    dist = bfs_distances(graph, source)
+    parent = np.full(graph.n, -1, dtype=np.int64)
+    parent[source] = source
+    for node in range(graph.n):
+        if node == source or dist[node] < 0:
+            continue
+        for candidate in graph.neighbors(node):
+            candidate = int(candidate)
+            if dist[candidate] == dist[node] - 1:
+                parent[node] = candidate
+                break  # neighbors are sorted: smallest index wins
+    return parent
+
+
+def eccentricity(graph: UnitDiskGraph, source: int) -> int:
+    """Largest hop distance from ``source`` within its component."""
+    dist = bfs_distances(graph, source)
+    return int(dist.max())
+
+
+def diameter(graph: UnitDiskGraph) -> int:
+    """Largest eccentricity over all nodes (per component; -1 for empty).
+
+    Exact all-pairs computation — O(n * (n + m)); fine at library scale,
+    and the experiments only call it on test-sized graphs.
+    """
+    if graph.n == 0:
+        return -1
+    return max(eccentricity(graph, source) for source in range(graph.n))

@@ -1,0 +1,78 @@
+"""TDMA frames derived from a coloring.
+
+Section V: "we associate each color ``c`` with a time slot ``t_c`` where
+nodes colored ``c`` can transmit in time slot ``t_c``."  The frame length
+is the number of colors ``V``; Theorem 3 guarantees that with a
+``(d+1, V)``-coloring every broadcast inside a frame is received by all
+neighbors, so any node reaches its whole neighborhood within ``V`` slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..graphs.coloring import Coloring
+
+__all__ = ["TDMASchedule"]
+
+
+class TDMASchedule:
+    """Immutable color -> slot assignment over one frame.
+
+    Distinct colors are mapped to slots ``0 .. V-1`` in increasing color
+    order; the frame repeats forever.
+    """
+
+    def __init__(self, coloring: Coloring) -> None:
+        if len(coloring) == 0:
+            raise ScheduleError("cannot build a TDMA schedule from an empty coloring")
+        self._coloring = coloring
+        palette = np.unique(coloring.colors)
+        self._slot_of_color = {int(color): slot for slot, color in enumerate(palette)}
+        self._color_of_slot = {slot: int(color) for slot, color in enumerate(palette)}
+        self._slot_of_node = np.asarray(
+            [self._slot_of_color[int(c)] for c in coloring.colors], dtype=np.int64
+        )
+
+    @property
+    def coloring(self) -> Coloring:
+        """The coloring the schedule was derived from."""
+        return self._coloring
+
+    @property
+    def frame_length(self) -> int:
+        """Number of slots per frame (= number of distinct colors ``V``)."""
+        return len(self._slot_of_color)
+
+    @property
+    def n(self) -> int:
+        """Number of scheduled nodes."""
+        return len(self._coloring)
+
+    def slot_of(self, node: int) -> int:
+        """The within-frame slot in which ``node`` may transmit."""
+        return int(self._slot_of_node[node])
+
+    def color_of_slot(self, slot: int) -> int:
+        """The color transmitting in within-frame ``slot``."""
+        if slot not in self._color_of_slot:
+            raise ScheduleError(
+                f"slot {slot} out of frame range 0..{self.frame_length - 1}"
+            )
+        return self._color_of_slot[slot]
+
+    def nodes_in_slot(self, slot: int) -> np.ndarray:
+        """All nodes allowed to transmit in within-frame ``slot`` (sorted)."""
+        color = self.color_of_slot(slot)
+        return np.flatnonzero(self._coloring.colors == color)
+
+    def global_slot(self, frame: int, slot: int) -> int:
+        """Absolute slot number of within-frame ``slot`` in ``frame``."""
+        if not 0 <= slot < self.frame_length:
+            raise ScheduleError(
+                f"slot {slot} out of frame range 0..{self.frame_length - 1}"
+            )
+        if frame < 0:
+            raise ScheduleError(f"frame must be >= 0, got {frame}")
+        return frame * self.frame_length + slot

@@ -1,0 +1,38 @@
+"""Point-to-point message-passing substrate (Section V's simulation target).
+
+* :mod:`repro.messaging.model` — the classical synchronous round-based
+  model: uniform algorithms (one broadcast payload per round) and general
+  algorithms (a payload per neighbor per round), with a reliable
+  interference-free engine.
+* :mod:`repro.messaging.algorithms` — example algorithms the experiments
+  simulate under SINR via Corollary 1: flooding, BFS tree construction,
+  max-id leader election.
+"""
+
+from .algorithms import (
+    BFSTreeAlgorithm,
+    ConvergecastSum,
+    FloodingBroadcast,
+    MaxIdLeaderElection,
+    PairwiseTokenExchange,
+)
+from .model import (
+    GeneralAlgorithm,
+    RoundContext,
+    UniformAlgorithm,
+    run_general_rounds,
+    run_uniform_rounds,
+)
+
+__all__ = [
+    "BFSTreeAlgorithm",
+    "ConvergecastSum",
+    "FloodingBroadcast",
+    "GeneralAlgorithm",
+    "MaxIdLeaderElection",
+    "PairwiseTokenExchange",
+    "RoundContext",
+    "UniformAlgorithm",
+    "run_general_rounds",
+    "run_uniform_rounds",
+]

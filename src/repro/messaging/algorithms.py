@@ -1,0 +1,298 @@
+"""Example uniform message-passing algorithms.
+
+These are the concrete workloads the Corollary 1 experiments simulate in
+the SINR model: classic broadcast-style algorithms whose outputs are easy
+to verify independently.
+
+* :class:`FloodingBroadcast` — a source floods a value; every node learns
+  it (within its connected component) and the hop distance it arrived at.
+* :class:`BFSTreeAlgorithm` — BFS layers from a root: each node outputs its
+  parent and depth in a shortest-path tree.
+* :class:`MaxIdLeaderElection` — every node repeatedly broadcasts the
+  largest id seen; after a fixed number of rounds (an upper bound on the
+  diameter) all nodes in a component agree on its maximum id.
+
+All three are *uniform* algorithms (same payload to all neighbors each
+round), the class Corollary 1 simulates with an ``O(Delta (log n + tau))``
+overall slot cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .._validation import require_int
+from .model import GeneralAlgorithm, RoundContext, UniformAlgorithm
+
+__all__ = [
+    "BFSTreeAlgorithm",
+    "ConvergecastSum",
+    "FloodingBroadcast",
+    "MaxIdLeaderElection",
+    "PairwiseTokenExchange",
+]
+
+
+@dataclass
+class FloodingBroadcast(UniformAlgorithm):
+    """Flood ``value`` from ``source``; output ``(value, hops)`` or None.
+
+    A node forwards the value exactly once, in the round after first
+    hearing it; it halts once it has forwarded (the source halts after
+    round 0).  Nodes outside the source's component never halt — callers
+    bound the execution with ``max_rounds``.
+    """
+
+    source: int
+    value: Any = "token"
+
+    _ctx: RoundContext | None = field(default=None, init=False)
+    _hops: int | None = field(default=None, init=False)
+    _forwarded: bool = field(default=False, init=False)
+
+    def on_start(self, ctx: RoundContext) -> None:
+        self._ctx = ctx
+        if ctx.node == self.source:
+            self._hops = 0
+
+    def send(self, round_index: int) -> Any | None:
+        if self._hops is None or self._forwarded:
+            return None
+        self._forwarded = True
+        return (self.value, self._hops)
+
+    def on_receive(self, round_index: int, sender: int, payload: Any) -> None:
+        value, hops = payload
+        if self._hops is None:
+            self._hops = hops + 1
+
+    @property
+    def halted(self) -> bool:
+        return self._forwarded
+
+    def output(self) -> Any:
+        if self._hops is None:
+            return None
+        return (self.value, self._hops)
+
+
+@dataclass
+class BFSTreeAlgorithm(UniformAlgorithm):
+    """Build a BFS tree from ``root``; output ``(parent, depth)``.
+
+    The root outputs ``(-1, 0)``.  Identical propagation pattern to
+    flooding, but the payload carries the sender's depth so receivers can
+    adopt the sender as parent.
+    """
+
+    root: int
+
+    _ctx: RoundContext | None = field(default=None, init=False)
+    _parent: int | None = field(default=None, init=False)
+    _depth: int | None = field(default=None, init=False)
+    _announced: bool = field(default=False, init=False)
+
+    def on_start(self, ctx: RoundContext) -> None:
+        self._ctx = ctx
+        if ctx.node == self.root:
+            self._parent = -1
+            self._depth = 0
+
+    def send(self, round_index: int) -> Any | None:
+        if self._depth is None or self._announced:
+            return None
+        self._announced = True
+        return self._depth
+
+    def on_receive(self, round_index: int, sender: int, payload: Any) -> None:
+        if self._depth is None:
+            self._parent = sender
+            self._depth = payload + 1
+
+    @property
+    def halted(self) -> bool:
+        return self._announced
+
+    def output(self) -> Any:
+        if self._depth is None:
+            return None
+        return (self._parent, self._depth)
+
+
+@dataclass
+class MaxIdLeaderElection(UniformAlgorithm):
+    """Agree on the maximum node id within ``rounds`` rounds (>= diameter).
+
+    Every round each node broadcasts the largest id it has seen so far
+    (its own initially) if that changed knowledge is fresh; after
+    ``rounds`` rounds it halts and outputs the maximum.  With ``rounds``
+    at least the component diameter, all members agree.
+    """
+
+    rounds: int
+
+    _ctx: RoundContext | None = field(default=None, init=False)
+    _best: int = field(default=-1, init=False)
+    _dirty: bool = field(default=True, init=False)
+    _rounds_done: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        require_int("rounds", self.rounds, minimum=1)
+
+    def on_start(self, ctx: RoundContext) -> None:
+        self._ctx = ctx
+        self._best = ctx.node
+
+    def send(self, round_index: int) -> Any | None:
+        self._rounds_done = round_index + 1
+        if not self._dirty:
+            return None
+        self._dirty = False
+        return self._best
+
+    def on_receive(self, round_index: int, sender: int, payload: Any) -> None:
+        if payload > self._best:
+            self._best = payload
+            self._dirty = True
+
+    @property
+    def halted(self) -> bool:
+        return self._rounds_done >= self.rounds
+
+    def output(self) -> Any:
+        return self._best
+
+
+@dataclass
+class ConvergecastSum(UniformAlgorithm):
+    """Aggregate a sum up a BFS tree rooted at ``root`` (data collection).
+
+    The classic sensor-network workload: phase 1 floods depth announcements
+    (building the tree and letting each node learn its children), phase 2
+    propagates partial sums upward as soon as all children reported.  The
+    root outputs the component-wide sum of ``value``; every other node
+    outputs its subtree sum.  Uniform model: all messages are broadcasts,
+    receivers filter by the embedded parent/addressee fields.
+
+    ``horizon`` must be at least the component's eccentricity from the
+    root; nodes halt once they have reported (the root halts once every
+    child reported).
+    """
+
+    root: int
+    value: float = 1.0
+    horizon: int = 64
+
+    _ctx: RoundContext | None = field(default=None, init=False)
+    _parent: int | None = field(default=None, init=False)
+    _depth: int | None = field(default=None, init=False)
+    _announced: bool = field(default=False, init=False)
+    _children: set = field(default_factory=set, init=False)
+    _child_sums: dict = field(default_factory=dict, init=False)
+    _reported: bool = field(default=False, init=False)
+    _round: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        require_int("horizon", self.horizon, minimum=1)
+
+    def on_start(self, ctx: RoundContext) -> None:
+        self._ctx = ctx
+        if ctx.node == self.root:
+            self._parent = -1
+            self._depth = 0
+
+    def send(self, round_index: int) -> Any | None:
+        self._round = round_index + 1
+        # Phase 1: one-shot depth announcement (builds the tree).
+        if self._depth is not None and not self._announced:
+            self._announced = True
+            return ("tree", self._parent, self._depth)
+        # Phase 2: report upward once every known child has reported.  The
+        # announcement horizon guarantees no new children can appear after
+        # round `horizon`, so leaves fire then.
+        if (
+            self._announced
+            and not self._reported
+            and round_index >= self.horizon
+            and set(self._child_sums) >= self._children
+            and self._ctx.node != self.root
+        ):
+            self._reported = True
+            subtotal = self.value + sum(self._child_sums.values())
+            return ("sum", self._parent, subtotal)
+        return None
+
+    def on_receive(self, round_index: int, sender: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == "tree":
+            _, parent, depth = payload
+            if self._depth is None:
+                self._parent = sender
+                self._depth = depth + 1
+            if parent == self._ctx.node:
+                self._children.add(sender)
+        else:
+            _, addressee, subtotal = payload
+            if addressee == self._ctx.node:
+                self._child_sums[sender] = subtotal
+
+    @property
+    def halted(self) -> bool:
+        if self._ctx is not None and self._ctx.node == self.root:
+            return (
+                self._round > self.horizon
+                and set(self._child_sums) >= self._children
+            )
+        return self._reported
+
+    def output(self) -> Any:
+        if self._depth is None:
+            return None
+        return self.value + sum(self._child_sums.values())
+
+
+@dataclass
+class PairwiseTokenExchange(GeneralAlgorithm):
+    """A two-round *general-model* workload: personalised token handshake.
+
+    Round 0: every node sends each neighbor the pair ``(me, you)``.
+    Round 1: every node echoes back what it received from each neighbor.
+    Output: the sorted list of echoed pairs — each node must see its own
+    round-0 tokens reflected, which certifies per-neighbor (non-broadcast)
+    delivery in both directions.
+    """
+
+    _ctx: RoundContext | None = field(default=None, init=False)
+    _received: dict = field(default_factory=dict, init=False)
+    _echoed: dict = field(default_factory=dict, init=False)
+    _rounds_done: int = field(default=0, init=False)
+
+    def on_start(self, ctx: RoundContext) -> None:
+        self._ctx = ctx
+
+    def send_to(self, round_index: int) -> dict[int, Any]:
+        self._rounds_done = round_index + 1
+        me = self._ctx.node
+        if round_index == 0:
+            return {v: ("token", me, v) for v in self._ctx.neighbors}
+        if round_index == 1:
+            return {
+                v: ("echo", self._received[v])
+                for v in self._ctx.neighbors
+                if v in self._received
+            }
+        return {}
+
+    def on_receive(self, round_index: int, sender: int, payload: Any) -> None:
+        if payload[0] == "token":
+            self._received[sender] = payload
+        else:
+            self._echoed[sender] = payload[1]
+
+    @property
+    def halted(self) -> bool:
+        return self._rounds_done >= 2
+
+    def output(self) -> Any:
+        return sorted(self._echoed.values())

@@ -1,0 +1,164 @@
+"""The classical point-to-point message passing model.
+
+Section V of the paper: neighboring nodes are connected by private
+channels; algorithms proceed in synchronous *rounds*; in each round a node
+receives the messages sent to it in that round, computes, and sends.  Two
+algorithm classes are considered:
+
+* **uniform** — a node sends the *same* message to all neighbors in a round
+  (broadcast-style); :class:`UniformAlgorithm`.
+* **general** — a node may send a different message to each neighbor;
+  :class:`GeneralAlgorithm`.
+
+:func:`run_uniform_rounds` / :func:`run_general_rounds` execute an
+algorithm instance per node over a :class:`~repro.graphs.udg.UnitDiskGraph`
+with perfectly reliable delivery — this is the *reference* execution that
+the SINR-side single-round simulation (:mod:`repro.mac.srs`) must
+reproduce, per Corollary 1.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .._validation import require_int
+from ..errors import SimulationError
+from ..graphs.udg import UnitDiskGraph
+
+__all__ = [
+    "GeneralAlgorithm",
+    "RoundContext",
+    "UniformAlgorithm",
+    "run_general_rounds",
+    "run_uniform_rounds",
+]
+
+
+@dataclass(frozen=True)
+class RoundContext:
+    """Static per-node information handed to an algorithm at start-up."""
+
+    node: int
+    neighbors: tuple[int, ...]
+    n: int
+
+
+class _RoundAlgorithm(ABC):
+    """Shared lifecycle of uniform and general algorithms."""
+
+    def on_start(self, ctx: RoundContext) -> None:
+        """Called once before round 0 with the node's static context."""
+
+    def on_receive(self, round_index: int, sender: int, payload: Any) -> None:
+        """Called for each message received in ``round_index``."""
+
+    @property
+    @abstractmethod
+    def halted(self) -> bool:
+        """Whether this node has produced its final output."""
+
+    def output(self) -> Any:
+        """The node's final output (meaningful once ``halted``)."""
+        return None
+
+
+class UniformAlgorithm(_RoundAlgorithm):
+    """A node broadcasts one payload (or nothing) per round."""
+
+    @abstractmethod
+    def send(self, round_index: int) -> Any | None:
+        """Payload to broadcast to all neighbors this round (None = silent)."""
+
+
+class GeneralAlgorithm(_RoundAlgorithm):
+    """A node may address each neighbor individually every round."""
+
+    @abstractmethod
+    def send_to(self, round_index: int) -> dict[int, Any]:
+        """Mapping neighbor -> payload for this round (empty = silent)."""
+
+
+@dataclass(frozen=True)
+class RoundRunReport:
+    """Outcome of a reference message-passing execution."""
+
+    rounds: int
+    halted: bool
+    messages_sent: int
+
+
+def _start_all(
+    graph: UnitDiskGraph, algorithms: Sequence[_RoundAlgorithm]
+) -> None:
+    if len(algorithms) != graph.n:
+        raise SimulationError(
+            f"{len(algorithms)} algorithm instances for {graph.n} nodes"
+        )
+    for node, algorithm in enumerate(algorithms):
+        ctx = RoundContext(
+            node=node,
+            neighbors=tuple(int(v) for v in graph.neighbors(node)),
+            n=graph.n,
+        )
+        algorithm.on_start(ctx)
+
+
+def run_uniform_rounds(
+    graph: UnitDiskGraph,
+    algorithms: Sequence[UniformAlgorithm],
+    max_rounds: int,
+) -> RoundRunReport:
+    """Reference execution of a uniform algorithm; stops when all halt."""
+    require_int("max_rounds", max_rounds, minimum=0)
+    _start_all(graph, algorithms)
+    messages = 0
+    for round_index in range(max_rounds):
+        if all(algorithm.halted for algorithm in algorithms):
+            return RoundRunReport(
+                rounds=round_index, halted=True, messages_sent=messages
+            )
+        outgoing = [algorithms[v].send(round_index) for v in range(graph.n)]
+        for sender, payload in enumerate(outgoing):
+            if payload is None:
+                continue
+            messages += len(graph.neighbors(sender))
+            for receiver in graph.neighbors(sender):
+                algorithms[int(receiver)].on_receive(round_index, sender, payload)
+    return RoundRunReport(
+        rounds=max_rounds,
+        halted=all(algorithm.halted for algorithm in algorithms),
+        messages_sent=messages,
+    )
+
+
+def run_general_rounds(
+    graph: UnitDiskGraph,
+    algorithms: Sequence[GeneralAlgorithm],
+    max_rounds: int,
+) -> RoundRunReport:
+    """Reference execution of a general algorithm; stops when all halt."""
+    require_int("max_rounds", max_rounds, minimum=0)
+    _start_all(graph, algorithms)
+    messages = 0
+    for round_index in range(max_rounds):
+        if all(algorithm.halted for algorithm in algorithms):
+            return RoundRunReport(
+                rounds=round_index, halted=True, messages_sent=messages
+            )
+        outgoing = [algorithms[v].send_to(round_index) for v in range(graph.n)]
+        for sender, plan in enumerate(outgoing):
+            neighbor_set = {int(v) for v in graph.neighbors(sender)}
+            for receiver, payload in plan.items():
+                if receiver not in neighbor_set:
+                    raise SimulationError(
+                        f"node {sender} addressed non-neighbor {receiver}"
+                    )
+                messages += 1
+                algorithms[receiver].on_receive(round_index, sender, payload)
+    return RoundRunReport(
+        rounds=max_rounds,
+        halted=all(algorithm.halted for algorithm in algorithms),
+        messages_sent=messages,
+    )

@@ -1,0 +1,30 @@
+"""Synchronous slotted radio simulator.
+
+The paper assumes time divided into globally synchronised slots, with nodes
+waking up asynchronously and spontaneously (Section II).  This package
+provides:
+
+* :mod:`repro.simulation.node` — the :class:`NodeProcess` API protocol
+  implementations plug into,
+* :mod:`repro.simulation.scheduler` — wake-up schedules,
+* :mod:`repro.simulation.simulator` — the slot loop,
+* :mod:`repro.simulation.trace` — event tracing and per-slot observers,
+* :mod:`repro.simulation.rng` — deterministic seed fan-out.
+"""
+
+from .node import NodeProcess, SlotApi
+from .rng import spawn_generators, spawn_seed_sequences
+from .scheduler import WakeupSchedule
+from .simulator import SlotSimulator
+from .trace import SlotObserver, TraceRecorder
+
+__all__ = [
+    "NodeProcess",
+    "SlotApi",
+    "SlotObserver",
+    "SlotSimulator",
+    "TraceRecorder",
+    "WakeupSchedule",
+    "spawn_generators",
+    "spawn_seed_sequences",
+]

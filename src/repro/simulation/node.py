@@ -1,0 +1,78 @@
+"""The node-process API: how protocol state machines plug into the simulator.
+
+Slot semantics (matching the paper's synchronous-slot model):
+
+1. At the start of slot ``t`` the simulator calls :meth:`NodeProcess.on_slot`
+   on every awake node.  The node updates its per-slot state (counters etc.)
+   and returns either a payload to broadcast in this slot, or ``None`` to
+   listen.
+2. The channel resolves all simultaneous transmissions of slot ``t``.
+3. For every successful reception the simulator calls
+   :meth:`NodeProcess.on_receive` on the receiver, still in slot ``t`` —
+   receptions influence behaviour from slot ``t + 1`` on.
+
+Each node owns a private :class:`numpy.random.Generator` handed to it
+through :class:`SlotApi`, so node logic never reaches for global randomness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["NodeProcess", "SlotApi"]
+
+
+@dataclass
+class SlotApi:
+    """Per-node view of the simulation handed to every callback.
+
+    Attributes
+    ----------
+    node:
+        This node's index.
+    slot:
+        Current global slot number (0-based).
+    rng:
+        This node's private random generator.
+    """
+
+    node: int
+    slot: int
+    rng: np.random.Generator
+
+    def flip(self, probability: float) -> bool:
+        """A biased coin: ``True`` with the given probability."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return bool(self.rng.random() < probability)
+
+
+class NodeProcess(ABC):
+    """Base class for protocol state machines.
+
+    Subclasses implement the three lifecycle callbacks.  The ``decided``
+    property drives the simulator's default stop condition; protocols whose
+    nodes keep transmitting after deciding (as MW color holders do) simply
+    keep returning payloads from :meth:`on_slot` after setting it.
+    """
+
+    def on_wake(self, api: SlotApi) -> None:
+        """Called once, in the node's wake-up slot, before its first on_slot."""
+
+    @abstractmethod
+    def on_slot(self, api: SlotApi) -> Any | None:
+        """Per-slot action: return a payload to broadcast, or None to listen."""
+
+    def on_receive(self, api: SlotApi, sender: int, payload: Any) -> None:
+        """Called for each message this node successfully decoded this slot."""
+
+    @property
+    def decided(self) -> bool:
+        """Whether this node has produced its final output (default: False)."""
+        return False

@@ -1,0 +1,28 @@
+"""Deterministic randomness fan-out.
+
+Every stochastic component of a run (each node's coin flips, the wake-up
+schedule, any channel noise) draws from its own :class:`numpy.random.Generator`
+derived from a single root seed via :class:`numpy.random.SeedSequence`
+spawning.  Two runs with the same root seed and the same configuration are
+bit-for-bit identical, independent of iteration order elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import require_int
+
+__all__ = ["spawn_generators", "spawn_seed_sequences"]
+
+
+def spawn_seed_sequences(seed: int, count: int) -> list[np.random.SeedSequence]:
+    """``count`` statistically independent child seed sequences of ``seed``."""
+    require_int("count", count, minimum=0)
+    root = np.random.SeedSequence(seed)
+    return root.spawn(count)
+
+
+def spawn_generators(seed: int, count: int) -> list[np.random.Generator]:
+    """``count`` independent generators derived from one root ``seed``."""
+    return [np.random.default_rng(ss) for ss in spawn_seed_sequences(seed, count)]

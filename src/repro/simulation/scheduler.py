@@ -1,0 +1,87 @@
+"""Wake-up schedules.
+
+The paper's model lets nodes "wake up asynchronously at any time" and
+spontaneously.  A :class:`WakeupSchedule` assigns each node the slot in
+which it wakes; three families cover the experiments:
+
+* :meth:`WakeupSchedule.synchronous` — everyone at slot 0 (easiest case).
+* :meth:`WakeupSchedule.uniform_random` — i.i.d. uniform wake slots in
+  ``[0, max_delay]`` (the paper's asynchronous-wake-up setting).
+* :meth:`WakeupSchedule.staggered` — deterministic arithmetic stagger, a
+  worst-case-flavoured pattern where late wakers join an already-running
+  protocol wave by wave.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import require_int, require_nonnegative
+from ..errors import ConfigurationError
+
+__all__ = ["WakeupSchedule"]
+
+
+class WakeupSchedule:
+    """Immutable per-node wake-up slots."""
+
+    def __init__(self, wake_slots: np.ndarray) -> None:
+        wake_slots = np.asarray(wake_slots)
+        if wake_slots.ndim != 1:
+            raise ConfigurationError("wake_slots must be a 1-D array")
+        if wake_slots.size and (
+            not np.issubdtype(wake_slots.dtype, np.integer) or wake_slots.min() < 0
+        ):
+            raise ConfigurationError("wake_slots must be non-negative integers")
+        self._wake_slots = wake_slots.astype(np.int64)
+        self._wake_slots.setflags(write=False)
+
+    @classmethod
+    def synchronous(cls, n: int) -> "WakeupSchedule":
+        """All ``n`` nodes wake in slot 0."""
+        require_int("n", n, minimum=0)
+        return cls(np.zeros(n, dtype=np.int64))
+
+    @classmethod
+    def uniform_random(cls, n: int, max_delay: int, seed: int) -> "WakeupSchedule":
+        """Each node wakes at an i.i.d. uniform slot in ``[0, max_delay]``."""
+        require_int("n", n, minimum=0)
+        require_int("max_delay", max_delay, minimum=0)
+        rng = np.random.default_rng(seed)
+        return cls(rng.integers(0, max_delay + 1, size=n, dtype=np.int64))
+
+    @classmethod
+    def staggered(cls, n: int, interval: int) -> "WakeupSchedule":
+        """Node ``i`` wakes at slot ``i * interval`` (wave-by-wave arrival)."""
+        require_int("n", n, minimum=0)
+        require_int("interval", interval, minimum=0)
+        return cls(np.arange(n, dtype=np.int64) * interval)
+
+    @property
+    def wake_slots(self) -> np.ndarray:
+        """Per-node wake slot array."""
+        return self._wake_slots
+
+    def __len__(self) -> int:
+        return len(self._wake_slots)
+
+    def wake_slot(self, node: int) -> int:
+        """Wake slot of ``node``."""
+        return int(self._wake_slots[node])
+
+    @property
+    def last_wake(self) -> int:
+        """The latest wake slot (0 for an empty schedule)."""
+        if len(self._wake_slots) == 0:
+            return 0
+        return int(self._wake_slots.max())
+
+    def awake_mask(self, slot: int) -> np.ndarray:
+        """Boolean mask of nodes awake at ``slot`` (wake slot <= slot)."""
+        require_nonnegative("slot", slot)
+        return self._wake_slots <= slot
+
+    def waking_now(self, slot: int) -> np.ndarray:
+        """Indices of nodes whose wake slot is exactly ``slot``."""
+        require_nonnegative("slot", slot)
+        return np.flatnonzero(self._wake_slots == slot)

@@ -1,0 +1,207 @@
+"""The slot loop.
+
+:class:`SlotSimulator` wires together a channel, one :class:`NodeProcess`
+per node, a wake-up schedule and a set of end-of-slot observers, then runs
+the synchronous slot loop:
+
+    wake new nodes -> collect transmissions -> channel.resolve
+    -> dispatch receptions -> notify observers -> check stop condition
+
+The default stop condition is "every node has decided"; protocols can pass
+any predicate over the simulator.  ``run`` returns a :class:`RunStats` with
+the slot counts experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import require_int
+from ..errors import SimulationError
+from ..sinr.channel import Channel, Delivery, Transmission
+from .node import NodeProcess, SlotApi
+from .rng import spawn_generators
+from .scheduler import WakeupSchedule
+from .trace import SlotObserver
+
+__all__ = ["RunStats", "SlotSimulator"]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Outcome of a simulation run.
+
+    Attributes
+    ----------
+    slots_run:
+        Total number of slots executed.
+    completed:
+        Whether the stop condition fired (False means max_slots was hit).
+    decided_count:
+        How many nodes had decided when the run ended.
+    transmissions:
+        Total transmissions over the run.
+    deliveries:
+        Total successful receptions over the run.
+    """
+
+    slots_run: int
+    completed: bool
+    decided_count: int
+    transmissions: int
+    deliveries: int
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of transmissions that produced at least the counted deliveries.
+
+        Note one broadcast can reach several receivers, so this can
+        exceed 1; it is a throughput indicator, not a probability.
+        """
+        if self.transmissions == 0:
+            return 0.0
+        return self.deliveries / self.transmissions
+
+
+class SlotSimulator:
+    """Synchronous slotted execution of one protocol over one channel."""
+
+    def __init__(
+        self,
+        channel: Channel,
+        nodes: Sequence[NodeProcess],
+        schedule: WakeupSchedule,
+        seed: int = 0,
+        observers: Sequence[SlotObserver] = (),
+    ) -> None:
+        if len(nodes) != channel.n:
+            raise SimulationError(
+                f"{len(nodes)} node processes for a channel with {channel.n} nodes"
+            )
+        if len(schedule) != channel.n:
+            raise SimulationError(
+                f"wake-up schedule covers {len(schedule)} nodes, channel has {channel.n}"
+            )
+        self._channel = channel
+        self._nodes = list(nodes)
+        self._schedule = schedule
+        self._observers = list(observers)
+        self._generators = spawn_generators(seed, len(nodes))
+        self._slot = 0
+        self._awake = np.zeros(len(nodes), dtype=bool)
+        self._transmission_count = 0
+        self._delivery_count = 0
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def slot(self) -> int:
+        """The next slot to execute."""
+        return self._slot
+
+    @property
+    def channel(self) -> Channel:
+        """The channel transmissions are resolved on."""
+        return self._channel
+
+    @property
+    def nodes(self) -> list[NodeProcess]:
+        """The node processes (index == node id)."""
+        return self._nodes
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    def add_observer(self, observer: SlotObserver) -> None:
+        """Register an additional end-of-slot observer."""
+        self._observers.append(observer)
+
+    def decided_count(self) -> int:
+        """Number of nodes whose process reports ``decided``."""
+        return sum(1 for node in self._nodes if node.decided)
+
+    def all_decided(self) -> bool:
+        """Whether every node process reports ``decided``."""
+        return all(node.decided for node in self._nodes)
+
+    # -- execution ----------------------------------------------------------------
+
+    def step(self) -> tuple[list[Transmission], list[Delivery]]:
+        """Execute exactly one slot; returns its transmissions and deliveries."""
+        slot = self._slot
+
+        for node in self._schedule.waking_now(slot):
+            node = int(node)
+            self._awake[node] = True
+            self._nodes[node].on_wake(self._api(node, slot))
+
+        transmissions: list[Transmission] = []
+        for node in np.flatnonzero(self._awake):
+            node = int(node)
+            payload = self._nodes[node].on_slot(self._api(node, slot))
+            if payload is not None:
+                transmissions.append(Transmission(sender=node, payload=payload))
+
+        deliveries = self._channel.resolve(transmissions)
+        # Sleeping radios are off: deliveries to not-yet-woken nodes are
+        # dropped (the paper's nodes wake spontaneously, never by message).
+        deliveries = [d for d in deliveries if self._awake[d.receiver]]
+        for delivery in deliveries:
+            self._nodes[delivery.receiver].on_receive(
+                self._api(delivery.receiver, slot), delivery.sender, delivery.payload
+            )
+
+        for observer in self._observers:
+            observer.on_slot_end(slot, transmissions, deliveries)
+
+        self._transmission_count += len(transmissions)
+        self._delivery_count += len(deliveries)
+        self._slot += 1
+        return transmissions, deliveries
+
+    def run(
+        self,
+        max_slots: int,
+        stop: Callable[["SlotSimulator"], bool] | None = None,
+        check_every: int = 1,
+    ) -> RunStats:
+        """Run until ``stop(self)`` is true or ``max_slots`` slots executed.
+
+        ``stop`` defaults to :meth:`all_decided` *and* every node awake — a
+        protocol cannot be complete while some node has not woken yet.
+        ``check_every`` trades stop-condition cost against run granularity.
+        """
+        require_int("max_slots", max_slots, minimum=0)
+        require_int("check_every", check_every, minimum=1)
+        if stop is None:
+            last_wake = self._schedule.last_wake
+
+            def stop(sim: "SlotSimulator") -> bool:
+                return sim.slot > last_wake and sim.all_decided()
+
+        completed = False
+        while self._slot < max_slots:
+            if self._slot % check_every == 0 and stop(self):
+                completed = True
+                break
+            self.step()
+        else:
+            completed = stop(self)
+
+        return RunStats(
+            slots_run=self._slot,
+            completed=completed,
+            decided_count=self.decided_count(),
+            transmissions=self._transmission_count,
+            deliveries=self._delivery_count,
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _api(self, node: int, slot: int) -> SlotApi:
+        return SlotApi(node=node, slot=slot, rng=self._generators[node])

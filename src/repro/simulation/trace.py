@@ -1,0 +1,83 @@
+"""Tracing and per-slot observation.
+
+Two tools:
+
+* :class:`TraceRecorder` — an append-only log of named protocol events
+  (state transitions, decisions) with the slot they happened in.  Node
+  implementations call :meth:`TraceRecorder.record`; analyses query it.
+* :class:`SlotObserver` — the observer protocol the simulator invokes at the
+  end of every slot with the slot's transmissions and deliveries.  The
+  per-slot independence audit (EXP-3) and the interference meter (EXP-4)
+  are observers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Protocol, Sequence
+
+from ..sinr.channel import Delivery, Transmission
+
+__all__ = ["SlotObserver", "TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One named event: ``node`` did ``kind`` in ``slot`` (with ``detail``)."""
+
+    slot: int
+    node: int
+    kind: str
+    detail: Any = None
+
+
+class SlotObserver(Protocol):
+    """End-of-slot callback protocol."""
+
+    def on_slot_end(
+        self,
+        slot: int,
+        transmissions: Sequence[Transmission],
+        deliveries: Sequence[Delivery],
+    ) -> None:
+        """Observe one completed slot."""
+
+
+@dataclass
+class TraceRecorder:
+    """Append-only protocol event log.
+
+    ``enabled=False`` turns :meth:`record` into a no-op so large benchmark
+    runs pay nothing for tracing.
+    """
+
+    enabled: bool = True
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, slot: int, node: int, kind: str, detail: Any = None) -> None:
+        """Append an event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(slot, node, kind, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events with the given kind, in slot order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def for_node(self, node: int) -> list[TraceEvent]:
+        """All events of one node, in slot order."""
+        return [event for event in self.events if event.node == node]
+
+    def kind_counts(self) -> Counter:
+        """How many events of each kind were recorded."""
+        return Counter(event.kind for event in self.events)
+
+    def first_of_kind(self, kind: str, node: int) -> TraceEvent | None:
+        """The earliest event of ``kind`` at ``node``, or None."""
+        for event in self.events:
+            if event.kind == kind and event.node == node:
+                return event
+        return None

@@ -1,0 +1,38 @@
+"""The SINR physical layer and baseline interference models.
+
+* :mod:`repro.sinr.params` — physical constants (P, N, alpha, beta, rho) and
+  the derived ranges ``R_max``, ``R_T``, ``R_I`` and MAC distance ``d``.
+* :mod:`repro.sinr.channel` — per-slot reception resolution under three
+  interference semantics: the paper's SINR model, the graph-based model of
+  the original MW analysis, and a collision-free oracle.
+* :mod:`repro.sinr.interference` — interference measurement utilities used
+  to validate Lemma 3 empirically.
+"""
+
+from .channel import (
+    Channel,
+    CollisionFreeChannel,
+    Delivery,
+    GraphChannel,
+    ProtocolChannel,
+    SINRChannel,
+    Transmission,
+)
+from .interference import InterferenceMeter, received_power, total_interference
+from .lossy import LossyChannel
+from .params import PhysicalParams
+
+__all__ = [
+    "Channel",
+    "CollisionFreeChannel",
+    "Delivery",
+    "GraphChannel",
+    "InterferenceMeter",
+    "LossyChannel",
+    "PhysicalParams",
+    "ProtocolChannel",
+    "SINRChannel",
+    "Transmission",
+    "received_power",
+    "total_interference",
+]

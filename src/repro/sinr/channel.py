@@ -1,0 +1,394 @@
+"""Per-slot reception resolution under three interference semantics.
+
+A :class:`Channel` answers one question per time slot: given the set of
+nodes transmitting in this slot (each with a payload), which nodes receive
+which message?  All protocol logic lives above this interface, so swapping
+``SINRChannel`` for ``GraphChannel`` reruns the *same* algorithm under the
+graph-based model of the original MW analysis — exactly the comparison the
+paper is about.
+
+Common semantics shared by all channels:
+
+* Radios are half-duplex by default: a node that transmits in a slot cannot
+  receive in that slot.
+* A receiver decodes at most one message per slot (it has one radio).  Under
+  the paper's assumption ``beta >= 1`` at most one sender can satisfy the
+  SINR predicate anyway; for completeness the SINR channel always selects
+  the strongest decodable in-range sender.
+* The paper's decoding-margin assumption applies: a message is only received
+  from senders within the transmission range ``R_T``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry.grid_index import GridIndex
+from ..geometry.point import as_positions
+from .params import PhysicalParams
+
+__all__ = [
+    "Channel",
+    "CollisionFreeChannel",
+    "Delivery",
+    "GraphChannel",
+    "SINRChannel",
+    "Transmission",
+]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One node's transmission in a slot: ``sender`` broadcasts ``payload``."""
+
+    sender: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A successful reception: ``receiver`` decoded ``payload`` from ``sender``."""
+
+    receiver: int
+    sender: int
+    payload: Any
+
+
+class Channel(ABC):
+    """Interference semantics: resolves simultaneous transmissions to deliveries."""
+
+    def __init__(self, positions: np.ndarray, half_duplex: bool = True) -> None:
+        self._positions = as_positions(positions)
+        self._half_duplex = bool(half_duplex)
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Node coordinates, shape ``(n, 2)``."""
+        return self._positions
+
+    @property
+    def n(self) -> int:
+        """Number of nodes on the channel."""
+        return len(self._positions)
+
+    @property
+    def half_duplex(self) -> bool:
+        """Whether transmitting nodes are barred from receiving in the same slot."""
+        return self._half_duplex
+
+    @property
+    @abstractmethod
+    def reach(self) -> float:
+        """Nominal single-hop range of the channel (the paper's ``R_T``)."""
+
+    @abstractmethod
+    def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+        """Deliveries produced by the given simultaneous transmissions."""
+
+    def _check_transmissions(
+        self, transmissions: Sequence[Transmission]
+    ) -> np.ndarray:
+        """Validate senders and return them as an index array."""
+        senders = np.asarray([t.sender for t in transmissions], dtype=np.intp)
+        if senders.size:
+            if senders.min() < 0 or senders.max() >= self.n:
+                raise ConfigurationError(
+                    f"transmission sender out of range 0..{self.n - 1}"
+                )
+            if len(np.unique(senders)) != len(senders):
+                raise ConfigurationError(
+                    "a node cannot transmit twice in the same slot"
+                )
+        return senders
+
+
+class SINRChannel(Channel):
+    """The paper's physical model (Section II).
+
+    A receiver ``u`` decodes sender ``v`` iff
+
+        (P / delta(u,v)^alpha) / (N + sum_{w != v} P / delta(u,w)^alpha) >= beta
+
+    and additionally ``delta(u, v) <= R_T`` (the decoding-margin assumption).
+    Interference is *global*: every simultaneous transmitter in the network
+    contributes, which is exactly what distinguishes this model from the
+    graph-based one.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        params: PhysicalParams,
+        half_duplex: bool = True,
+    ) -> None:
+        super().__init__(positions, half_duplex)
+        self._params = params
+        # Precomputing nothing per-pair: the per-slot resolve is a dense
+        # (n x k) vectorised computation with k = number of transmitters,
+        # which for the paper's probabilities (q_s ~ 1/Delta) stays tiny.
+
+    @property
+    def params(self) -> PhysicalParams:
+        """Physical constants the channel evaluates the SINR predicate with."""
+        return self._params
+
+    @property
+    def reach(self) -> float:
+        """Transmission range ``R_T``."""
+        return self._params.r_t
+
+    def _near_field_floor(self) -> float:
+        """Distance floor for coincident nodes.
+
+        The far-field path-loss law diverges at distance 0; clamping to a
+        tiny fraction of ``R_T`` keeps the math finite while preserving the
+        physics: a single coincident sender decodes with enormous SINR, two
+        coincident senders jam each other (ratio ~1 < beta).
+        """
+        return self._params.r_t * 1e-6
+
+    def _distances_to(self, senders: np.ndarray) -> np.ndarray:
+        diff = self._positions[:, None, :] - self._positions[senders][None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        return np.maximum(dist, self._near_field_floor())
+
+    def signal_matrix(self, senders: np.ndarray) -> np.ndarray:
+        """Received-power matrix, shape ``(n, len(senders))``.
+
+        Entry ``[u, j]`` is ``P / delta(u, senders[j])^alpha`` (distances
+        clamped by the near-field floor); a sender's own row entry is 0
+        (its own signal is not interference to itself and it cannot receive
+        while transmitting anyway).
+        """
+        if senders.size == 0:
+            return np.zeros((self.n, 0))
+        dist = self._distances_to(senders)
+        power = self._params.power / dist**self._params.alpha
+        power[senders, np.arange(senders.size)] = 0.0
+        return power
+
+    def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+        senders = self._check_transmissions(transmissions)
+        if senders.size == 0:
+            return []
+        power = self.signal_matrix(senders)
+        total = power.sum(axis=1)
+
+        dist = self._distances_to(senders)
+
+        # Strongest sender per receiver; with beta >= 1 it is the only
+        # possibly-decodable one.
+        best_col = np.argmax(power, axis=1)
+        rows = np.arange(self.n)
+        best_power = power[rows, best_col]
+        best_dist = dist[rows, best_col]
+        interference = total - best_power
+
+        decodable = (
+            best_power
+            >= self._params.beta * (self._params.noise + interference)
+        )
+        in_range = best_dist <= self._params.r_t
+        receiving = decodable & in_range & (best_power > 0)
+        if self._half_duplex:
+            receiving[senders] = False
+
+        deliveries = []
+        for receiver in np.flatnonzero(receiving):
+            j = int(best_col[receiver])
+            deliveries.append(
+                Delivery(
+                    receiver=int(receiver),
+                    sender=int(senders[j]),
+                    payload=transmissions[j].payload,
+                )
+            )
+        return deliveries
+
+    def interference_split(
+        self, receiver: int, senders: np.ndarray, boundary: float
+    ) -> tuple[float, float]:
+        """Measured interference at ``receiver`` split at Euclidean ``boundary``.
+
+        Returns ``(inside, outside)``: summed received power from senders at
+        distance <= ``boundary`` and > ``boundary`` respectively.  Used by
+        EXP-4 to compare the realised out-of-``I_u`` interference against
+        Lemma 3's bound on its expectation.
+        """
+        senders = np.asarray(senders, dtype=np.intp)
+        senders = senders[senders != receiver]
+        if senders.size == 0:
+            return 0.0, 0.0
+        diff = self._positions[senders] - self._positions[receiver][None, :]
+        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        dist = np.maximum(dist, self._near_field_floor())
+        power = self._params.power / dist**self._params.alpha
+        inside = float(power[dist <= boundary].sum())
+        outside = float(power[dist > boundary].sum())
+        return inside, outside
+
+
+class GraphChannel(Channel):
+    """The graph-based model of the original MW analysis.
+
+    A node hears a message iff *exactly one* of its neighbours (nodes within
+    ``radius``) transmits in the slot — any second transmitting neighbour
+    destroys reception, and non-neighbours never interfere.  This is the
+    "simple graph based model" the paper contrasts against.
+    """
+
+    def __init__(
+        self, positions: np.ndarray, radius: float, half_duplex: bool = True
+    ) -> None:
+        super().__init__(positions, half_duplex)
+        if radius <= 0:
+            raise ConfigurationError(f"radius must be > 0, got {radius}")
+        self._radius = float(radius)
+        self._index = GridIndex(self._positions, cell_size=self._radius)
+
+    @property
+    def reach(self) -> float:
+        """Connectivity radius of the underlying unit disk graph."""
+        return self._radius
+
+    def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+        senders = self._check_transmissions(transmissions)
+        if senders.size == 0:
+            return []
+        payload_of = {int(t.sender): t.payload for t in transmissions}
+        sender_set = set(int(s) for s in senders)
+
+        # Count transmitting neighbours of every node by scattering from
+        # each sender's neighbourhood.
+        hit_count = np.zeros(self.n, dtype=np.intp)
+        last_sender = np.full(self.n, -1, dtype=np.intp)
+        for sender in senders:
+            nearby = self._index.neighbors_within(int(sender), self._radius)
+            hit_count[nearby] += 1
+            last_sender[nearby] = sender
+
+        deliveries = []
+        for receiver in np.flatnonzero(hit_count == 1):
+            receiver = int(receiver)
+            if self._half_duplex and receiver in sender_set:
+                continue
+            sender = int(last_sender[receiver])
+            deliveries.append(
+                Delivery(receiver=receiver, sender=sender, payload=payload_of[sender])
+            )
+        return deliveries
+
+
+class ProtocolChannel(Channel):
+    """The "protocol model" of interference (Wang et al., cited in Sec. I).
+
+    A receiver ``u`` decodes its nearest in-range sender ``v`` iff no
+    *other* sender lies within the guard distance ``(1 + guard) * radius``
+    of ``u``.  This sits between the graph model (guard = 0 on neighbors
+    only) and SINR (additive, global): interference is still binary and
+    local, but reaches beyond the communication radius.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        radius: float,
+        guard: float = 0.5,
+        half_duplex: bool = True,
+    ) -> None:
+        super().__init__(positions, half_duplex)
+        if radius <= 0:
+            raise ConfigurationError(f"radius must be > 0, got {radius}")
+        if guard < 0:
+            raise ConfigurationError(f"guard must be >= 0, got {guard}")
+        self._radius = float(radius)
+        self._guard = float(guard)
+
+    @property
+    def reach(self) -> float:
+        """Communication radius."""
+        return self._radius
+
+    @property
+    def guard(self) -> float:
+        """Relative guard-zone width: interference radius is ``(1+guard)*R``."""
+        return self._guard
+
+    def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+        senders = self._check_transmissions(transmissions)
+        if senders.size == 0:
+            return []
+        payload_of = {int(t.sender): t.payload for t in transmissions}
+        sender_set = set(int(s) for s in senders)
+        diff = self._positions[:, None, :] - self._positions[senders][None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        dist[senders, np.arange(senders.size)] = np.inf
+        guard_radius = (1.0 + self._guard) * self._radius
+        deliveries = []
+        for receiver in range(self.n):
+            if self._half_duplex and receiver in sender_set:
+                continue
+            row = dist[receiver]
+            nearest = int(np.argmin(row))
+            if row[nearest] > self._radius:
+                continue
+            interferers = np.sum(row <= guard_radius) - 1
+            if interferers > 0:
+                continue
+            sender = int(senders[nearest])
+            deliveries.append(
+                Delivery(receiver=receiver, sender=sender, payload=payload_of[sender])
+            )
+        return deliveries
+
+
+class CollisionFreeChannel(Channel):
+    """An oracle channel with no interference at all.
+
+    Every non-transmitting node within ``radius`` of at least one sender
+    receives the message of its *nearest* sender.  Used to unit-test node
+    state machines in isolation from channel stochasticity.
+    """
+
+    def __init__(
+        self, positions: np.ndarray, radius: float, half_duplex: bool = True
+    ) -> None:
+        super().__init__(positions, half_duplex)
+        if radius <= 0:
+            raise ConfigurationError(f"radius must be > 0, got {radius}")
+        self._radius = float(radius)
+
+    @property
+    def reach(self) -> float:
+        """Single-hop delivery range."""
+        return self._radius
+
+    def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+        senders = self._check_transmissions(transmissions)
+        if senders.size == 0:
+            return []
+        diff = self._positions[:, None, :] - self._positions[senders][None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        dist[senders, np.arange(senders.size)] = np.inf
+        best_col = np.argmin(dist, axis=1)
+        rows = np.arange(self.n)
+        best_dist = dist[rows, best_col]
+        receiving = best_dist <= self._radius
+        if self._half_duplex:
+            receiving[senders] = False
+        deliveries = []
+        for receiver in np.flatnonzero(receiving):
+            j = int(best_col[receiver])
+            deliveries.append(
+                Delivery(
+                    receiver=int(receiver),
+                    sender=int(senders[j]),
+                    payload=transmissions[j].payload,
+                )
+            )
+        return deliveries

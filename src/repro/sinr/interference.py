@@ -1,0 +1,130 @@
+"""Interference measurement utilities (empirical side of Lemma 3).
+
+Lemma 3 of the paper bounds the *probabilistic* (expected) interference at
+any node caused by transmitters outside its interference disc ``I_u`` by
+``P / (2 * rho * beta * R_T^alpha)``, provided the leader set ``C_0`` is
+independent so the per-disc sum of sending probabilities stays <= 2.
+
+:class:`InterferenceMeter` records, for sampled receivers across the slots
+of an actual protocol run, the realised interference split into the
+inside-``I_u`` and outside-``I_u`` components, so EXP-4 can compare the
+empirical mean of the outside component against the analytic bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import require_positive
+from ..geometry.point import as_positions
+from .params import PhysicalParams
+
+__all__ = ["InterferenceMeter", "received_power", "total_interference"]
+
+
+def received_power(params: PhysicalParams, dist: np.ndarray) -> np.ndarray:
+    """Vectorised path-loss law ``P / dist^alpha`` (``dist`` strictly positive)."""
+    dist = np.asarray(dist, dtype=np.float64)
+    if dist.size and dist.min() <= 0:
+        raise ValueError("received_power requires strictly positive distances")
+    return params.power / dist**params.alpha
+
+
+def total_interference(
+    params: PhysicalParams,
+    positions: np.ndarray,
+    receiver: int,
+    senders: np.ndarray,
+) -> float:
+    """Summed received power at ``receiver`` from every node in ``senders``.
+
+    ``receiver`` itself is excluded if present among ``senders``.
+    """
+    positions = as_positions(positions)
+    senders = np.asarray(senders, dtype=np.intp)
+    senders = senders[senders != receiver]
+    if senders.size == 0:
+        return 0.0
+    diff = positions[senders] - positions[receiver][None, :]
+    dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    return float(received_power(params, dist).sum())
+
+
+@dataclass
+class InterferenceMeter:
+    """Accumulates per-slot interference measurements at sampled receivers.
+
+    Parameters
+    ----------
+    params:
+        Physical constants (supplies the path-loss law and ``R_I``).
+    positions:
+        Node coordinates.
+    receivers:
+        The node indices to measure at (a sample keeps the audit cheap).
+    boundary:
+        The split radius; defaults to ``params.r_i`` to match Lemma 3.
+    """
+
+    params: PhysicalParams
+    positions: np.ndarray
+    receivers: np.ndarray
+    boundary: float | None = None
+    inside_samples: list[float] = field(default_factory=list)
+    outside_samples: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.positions = as_positions(self.positions)
+        self.receivers = np.asarray(self.receivers, dtype=np.intp)
+        if self.boundary is None:
+            self.boundary = self.params.r_i
+        require_positive("boundary", self.boundary)
+
+    def observe(self, senders: np.ndarray) -> None:
+        """Record one slot's interference decomposition at every receiver."""
+        senders = np.asarray(senders, dtype=np.intp)
+        for receiver in self.receivers:
+            receiver = int(receiver)
+            others = senders[senders != receiver]
+            if others.size == 0:
+                self.inside_samples.append(0.0)
+                self.outside_samples.append(0.0)
+                continue
+            diff = self.positions[others] - self.positions[receiver][None, :]
+            dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            power = received_power(self.params, dist)
+            self.inside_samples.append(float(power[dist <= self.boundary].sum()))
+            self.outside_samples.append(float(power[dist > self.boundary].sum()))
+
+    @property
+    def slots_observed(self) -> int:
+        """Number of (slot, receiver) samples recorded."""
+        return len(self.outside_samples)
+
+    def mean_outside(self) -> float:
+        """Empirical mean of the outside-``I_u`` interference (Lemma 3's quantity)."""
+        if not self.outside_samples:
+            return 0.0
+        return float(np.mean(self.outside_samples))
+
+    def max_outside(self) -> float:
+        """Worst observed outside-``I_u`` interference."""
+        if not self.outside_samples:
+            return 0.0
+        return float(np.max(self.outside_samples))
+
+    def mean_inside(self) -> float:
+        """Empirical mean of the inside-``I_u`` interference."""
+        if not self.inside_samples:
+            return 0.0
+        return float(np.mean(self.inside_samples))
+
+    def bound(self) -> float:
+        """Lemma 3's analytic bound ``P / (2 rho beta R_T^alpha)``."""
+        return self.params.outside_interference_bound
+
+    def bound_satisfied(self) -> bool:
+        """Whether the empirical mean respects the analytic expectation bound."""
+        return self.mean_outside() <= self.bound()

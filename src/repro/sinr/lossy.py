@@ -1,0 +1,74 @@
+"""Failure injection: a channel wrapper that drops deliveries at random.
+
+The MW algorithm's correctness argument is built entirely on repetition —
+every message that matters is retransmitted with a fixed probability over
+a window sized so that *some* copy gets through w.h.p.  That structure
+should make the protocol robust to extra, unmodeled loss (fading bursts,
+hardware hiccups).  :class:`LossyChannel` wraps any channel and drops each
+successful delivery independently with probability ``drop``, letting tests
+and experiments quantify that robustness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import require_probability
+from .channel import Channel, Delivery, Transmission
+
+__all__ = ["LossyChannel"]
+
+
+class LossyChannel(Channel):
+    """Wrap ``inner`` and drop each delivery with probability ``drop``.
+
+    Drops are i.i.d. per delivery, driven by a private generator seeded
+    with ``seed`` — runs stay reproducible.
+    """
+
+    def __init__(self, inner: Channel, drop: float, seed: int = 0) -> None:
+        super().__init__(inner.positions, inner.half_duplex)
+        require_probability("drop", drop)
+        self._inner = inner
+        self._drop = float(drop)
+        self._rng = np.random.default_rng(seed)
+        self._dropped = 0
+        self._passed = 0
+
+    @property
+    def inner(self) -> Channel:
+        """The wrapped channel."""
+        return self._inner
+
+    @property
+    def drop(self) -> float:
+        """Per-delivery drop probability."""
+        return self._drop
+
+    @property
+    def reach(self) -> float:
+        """The wrapped channel's reach."""
+        return self._inner.reach
+
+    @property
+    def dropped(self) -> int:
+        """Deliveries destroyed so far."""
+        return self._dropped
+
+    @property
+    def passed(self) -> int:
+        """Deliveries that survived so far."""
+        return self._passed
+
+    def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+        deliveries = self._inner.resolve(transmissions)
+        if not deliveries or self._drop == 0.0:
+            self._passed += len(deliveries)
+            return deliveries
+        keep_mask = self._rng.random(len(deliveries)) >= self._drop
+        kept = [d for d, keep in zip(deliveries, keep_mask) if keep]
+        self._dropped += len(deliveries) - len(kept)
+        self._passed += len(kept)
+        return kept

@@ -1,0 +1,172 @@
+"""Physical-layer parameters and the ranges the paper derives from them.
+
+Section II of the paper fixes, for uniform transmit power ``P``, ambient
+noise ``N``, path-loss exponent ``alpha > 2`` and SINR threshold
+``beta >= 1``:
+
+* the maximum decoding range     ``R_max = (P / (N * beta))^(1/alpha)``,
+* the transmission range         ``R_T   = (P / (2 * N * beta))^(1/alpha)``
+  (a deliberate margin below ``R_max`` so that noise alone never consumes
+  the whole SINR budget), and
+* the interference range
+  ``R_I = 2 * R_T * (96 * rho * beta * (alpha-1)/(alpha-2))^(1/(alpha-2))``
+  where ``rho > 1`` is the slack constant of the Markov-inequality step in
+  Lemma 1 — outside ``I_u`` (the disc of radius ``R_I``) the *expected*
+  interference is provably at most ``P / (2 * rho * beta * R_T^alpha)``.
+
+Theorem 3 additionally defines the MAC distance
+``d = (32 * (alpha-1)/(alpha-2) * beta)^(1/alpha)``: a ``(d+1, V)``-coloring
+suffices for an interference-free TDMA schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .._validation import require_positive
+from ..errors import ConfigurationError
+
+__all__ = ["PhysicalParams"]
+
+
+@dataclass(frozen=True)
+class PhysicalParams:
+    """Immutable physical-layer constants and their derived ranges.
+
+    Parameters
+    ----------
+    power:
+        Uniform transmit power ``P`` (the paper assumes all nodes share one
+        power level; Section V's power boosting is modelled by
+        :meth:`boosted`).
+    noise:
+        Ambient noise ``N > 0``.
+    alpha:
+        Path-loss exponent; the analysis requires ``alpha > 2`` so that the
+        ring sums converge.
+    beta:
+        Minimum SINR for successful decoding, ``beta >= 1``.
+    rho:
+        Markov slack constant of the paper's Lemma 1, ``rho > 1``.
+    """
+
+    power: float = 1.0
+    noise: float = 1e-6
+    alpha: float = 4.0
+    beta: float = 2.0
+    rho: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_positive("power", self.power)
+        require_positive("noise", self.noise)
+        require_positive("alpha", self.alpha)
+        require_positive("beta", self.beta)
+        require_positive("rho", self.rho)
+        if self.alpha <= 2:
+            raise ConfigurationError(
+                f"the SINR analysis requires alpha > 2, got {self.alpha}"
+            )
+        if self.beta < 1:
+            raise ConfigurationError(
+                f"the paper assumes beta >= 1, got {self.beta}"
+            )
+        if self.rho <= 1:
+            raise ConfigurationError(
+                f"the Markov slack requires rho > 1, got {self.rho}"
+            )
+
+    # -- derived ranges -------------------------------------------------------
+
+    @property
+    def r_max(self) -> float:
+        """Maximum decoding range in a silent network: ``(P/(N*beta))^(1/alpha)``."""
+        return (self.power / (self.noise * self.beta)) ** (1.0 / self.alpha)
+
+    @property
+    def r_t(self) -> float:
+        """Transmission range ``R_T = (P/(2*N*beta))^(1/alpha) < R_max``."""
+        return (self.power / (2.0 * self.noise * self.beta)) ** (1.0 / self.alpha)
+
+    @property
+    def r_i(self) -> float:
+        """Interference range ``R_I`` of Section II (always >= 2 * R_T)."""
+        base = 96.0 * self.rho * self.beta * (self.alpha - 1.0) / (self.alpha - 2.0)
+        return 2.0 * self.r_t * base ** (1.0 / (self.alpha - 2.0))
+
+    @property
+    def mac_distance(self) -> float:
+        """Theorem 3's ``d = (32 * (alpha-1)/(alpha-2) * beta)^(1/alpha)``."""
+        return (32.0 * (self.alpha - 1.0) / (self.alpha - 2.0) * self.beta) ** (
+            1.0 / self.alpha
+        )
+
+    @property
+    def outside_interference_bound(self) -> float:
+        """Lemma 3's bound on expected interference from outside ``I_u``:
+        ``P / (2 * rho * beta * R_T^alpha)``."""
+        return self.power / (2.0 * self.rho * self.beta * self.r_t**self.alpha)
+
+    # -- reception math ---------------------------------------------------------
+
+    def received_power(self, dist: float) -> float:
+        """Signal power ``P / dist^alpha`` at Euclidean distance ``dist``.
+
+        ``dist = 0`` has no physical meaning under the far-field path-loss
+        law; it raises :class:`ConfigurationError`.
+        """
+        if dist <= 0:
+            raise ConfigurationError(
+                f"received power is undefined at distance {dist}"
+            )
+        return self.power / dist**self.alpha
+
+    def sinr(self, signal: float, interference: float) -> float:
+        """SINR value ``signal / (noise + interference)``."""
+        if signal < 0 or interference < 0:
+            raise ConfigurationError("signal and interference must be >= 0")
+        return signal / (self.noise + interference)
+
+    def decodes(self, signal: float, interference: float) -> bool:
+        """The paper's reception predicate: ``SINR >= beta``."""
+        return self.sinr(signal, interference) >= self.beta
+
+    # -- transforms --------------------------------------------------------------
+
+    def boosted(self, factor: float) -> "PhysicalParams":
+        """Parameters with power multiplied by ``factor^alpha``.
+
+        Section V: boosting every node's power by ``d^alpha`` scales the
+        transmission range to ``d * R_T``, turning a distance-1 coloring of
+        ``G^d`` into a ``(d, .)``-coloring of ``G``.
+        """
+        require_positive("factor", factor)
+        return replace(self, power=self.power * factor**self.alpha)
+
+    def with_r_t(self, r_t: float) -> "PhysicalParams":
+        """Parameters whose power is chosen so the transmission range equals ``r_t``.
+
+        Solves ``(P / (2 N beta))^(1/alpha) = r_t`` for ``P``; convenient for
+        experiments that want round-number geometry (``R_T = 1``).
+        """
+        require_positive("r_t", r_t)
+        power = 2.0 * self.noise * self.beta * r_t**self.alpha
+        return replace(self, power=power)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the derived geometry."""
+        return (
+            f"P={self.power:.4g} N={self.noise:.4g} alpha={self.alpha:g} "
+            f"beta={self.beta:g} rho={self.rho:g} | "
+            f"R_T={self.r_t:.4g} R_max={self.r_max:.4g} R_I={self.r_i:.4g} "
+            f"d_mac={self.mac_distance:.4g}"
+        )
+
+
+def _check_math() -> None:
+    """Module self-check: R_T < R_max and R_I >= 2 R_T for the defaults."""
+    params = PhysicalParams()
+    assert params.r_t < params.r_max
+    assert params.r_i >= 2.0 * params.r_t
+
+
+_check_math()

@@ -1,0 +1,67 @@
+"""Tests for per-node transmission accounting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import TransmissionCounter
+from repro.errors import ConfigurationError
+from repro.sinr.channel import Delivery, Transmission
+
+
+class TestTransmissionCounter:
+    def test_counts_traffic(self):
+        counter = TransmissionCounter(n=3)
+        counter.on_slot_end(
+            0,
+            [Transmission(0, "a"), Transmission(1, "b")],
+            [Delivery(2, 0, "a")],
+        )
+        counter.on_slot_end(1, [Transmission(0, "c")], [])
+        np.testing.assert_array_equal(counter.tx_counts, [2, 1, 0])
+        np.testing.assert_array_equal(counter.rx_counts, [0, 0, 1])
+        assert counter.total_transmissions == 3
+        assert counter.total_receptions == 1
+        assert counter.slots_seen == 2
+
+    def test_busiest(self):
+        counter = TransmissionCounter(n=3)
+        counter.on_slot_end(0, [Transmission(2, "x"), Transmission(1, "y")], [])
+        counter.on_slot_end(1, [Transmission(2, "x")], [])
+        assert counter.busiest(1) == [(2, 2)]
+
+    def test_imbalance(self):
+        counter = TransmissionCounter(n=2)
+        counter.on_slot_end(0, [Transmission(0, "x")], [])
+        assert counter.imbalance() == pytest.approx(2.0)
+
+    def test_imbalance_empty(self):
+        assert TransmissionCounter(n=2).imbalance() == 1.0
+
+    def test_summary_keys(self):
+        counter = TransmissionCounter(n=2)
+        row = counter.summary()
+        assert set(row) == {
+            "slots", "tx_total", "rx_total",
+            "tx_per_node_mean", "tx_per_node_max", "imbalance",
+        }
+
+    def test_n_validated(self):
+        with pytest.raises(ConfigurationError):
+            TransmissionCounter(n=0)
+
+
+class TestDuringProtocolRun:
+    def test_leaders_transmit_more(self, small_deployment, params):
+        from repro import run_mw_coloring
+
+        counter = TransmissionCounter(n=small_deployment.n)
+        result = run_mw_coloring(
+            small_deployment, params, seed=2, observers=[counter]
+        )
+        assert result.stats.completed
+        assert counter.total_transmissions == result.stats.transmissions
+        # leaders announce at q_l >> q_s, so their energy use dominates
+        leader_tx = counter.tx_counts[result.leaders].mean()
+        others = np.setdiff1d(np.arange(result.n), result.leaders)
+        member_tx = counter.tx_counts[others].mean()
+        assert leader_tx > 2 * member_tx

@@ -1,0 +1,48 @@
+"""Unit tests for the shape-fitting helper."""
+
+import pytest
+
+from repro.analysis.metrics import fit_shape
+from repro.errors import ConfigurationError
+
+
+class TestFitShape:
+    def test_exact_linear_data(self):
+        rows = [{"shape": s, "value": 7.0 * s} for s in (1.0, 2.0, 5.0)]
+        constant, spread = fit_shape(rows, "shape", "value")
+        assert constant == pytest.approx(7.0)
+        assert spread == pytest.approx(1.0)
+
+    def test_spread_measures_deviation(self):
+        rows = [
+            {"shape": 1.0, "value": 10.0},
+            {"shape": 2.0, "value": 40.0},  # per-row constants: 10 and 20
+        ]
+        _, spread = fit_shape(rows, "shape", "value")
+        assert spread == pytest.approx(2.0)
+
+    def test_least_squares_weighting(self):
+        # large-shape rows dominate the fit
+        rows = [
+            {"shape": 1.0, "value": 100.0},
+            {"shape": 100.0, "value": 100.0},
+        ]
+        constant, _ = fit_shape(rows, "shape", "value")
+        assert constant == pytest.approx((100 + 10_000) / (1 + 10_000))
+
+    def test_zero_values_give_infinite_spread(self):
+        rows = [{"shape": 1.0, "value": 0.0}, {"shape": 1.0, "value": 5.0}]
+        _, spread = fit_shape(rows, "shape", "value")
+        assert spread == float("inf")
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_shape([], "shape", "value")
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_shape([{"shape": 1.0}], "shape", "value")
+
+    def test_nonpositive_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_shape([{"shape": 0.0, "value": 1.0}], "shape", "value")

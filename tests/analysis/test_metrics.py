@@ -1,0 +1,54 @@
+"""Unit tests for metric rows and aggregation."""
+
+import pytest
+
+from repro.analysis.metrics import aggregate_rows, coloring_row
+from repro.errors import ConfigurationError
+
+
+class TestAggregateRows:
+    def test_groups_and_means(self):
+        rows = [
+            {"n": 10, "slots": 100},
+            {"n": 10, "slots": 200},
+            {"n": 20, "slots": 400},
+        ]
+        agg = aggregate_rows(rows, group_by=["n"], values=["slots"])
+        assert len(agg) == 2
+        first = agg[0]
+        assert first["n"] == 10
+        assert first["runs"] == 2
+        assert first["slots_mean"] == pytest.approx(150.0)
+        assert first["slots_min"] == 100
+        assert first["slots_max"] == 200
+        assert first["slots_std"] == pytest.approx(70.71, rel=1e-3)
+
+    def test_single_row_std_zero(self):
+        agg = aggregate_rows([{"k": 1, "v": 5}], ["k"], ["v"])
+        assert agg[0]["v_std"] == 0.0
+
+    def test_boolean_fraction(self):
+        rows = [{"k": 0, "ok": True}, {"k": 0, "ok": False}]
+        agg = aggregate_rows(rows, ["k"], ["ok"])
+        assert agg[0]["ok_mean"] == pytest.approx(0.5)
+
+    def test_sorted_by_group(self):
+        rows = [{"k": 3, "v": 1}, {"k": 1, "v": 1}, {"k": 2, "v": 1}]
+        agg = aggregate_rows(rows, ["k"], ["v"])
+        assert [r["k"] for r in agg] == [1, 2, 3]
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_rows([{"a": 1}], ["a"], ["nope"])
+
+    def test_empty_rows(self):
+        assert aggregate_rows([], ["a"], ["b"]) == []
+
+
+class TestColoringRow:
+    def test_contains_normalised_columns(self, mw_run):
+        result, _ = mw_run
+        row = coloring_row(result)
+        assert row["slots_per_shape"] > 0
+        assert row["colors_per_delta"] > 0
+        assert row["proper"] is True

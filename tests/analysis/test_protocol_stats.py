@@ -1,0 +1,58 @@
+"""Tests for trace-derived protocol statistics."""
+
+import pytest
+
+from repro.analysis.protocol_stats import trace_statistics
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def stats(mw_run):
+    result, _ = mw_run
+    return trace_statistics(result), result
+
+
+class TestTraceStatistics:
+    def test_every_node_visits_a_state(self, stats):
+        aggregated, result = stats
+        assert aggregated.a_states_visited_mean >= 1.0
+        # Theorem 2's argument: a node visits at most phi(2R_T)+2 states
+        assert aggregated.a_states_visited_max <= result.constants.phi_2rt + 2
+
+    def test_leaders_decide_before_members(self, stats):
+        aggregated, _ = stats
+        assert (
+            aggregated.leader_decision_slot_mean
+            < aggregated.member_decision_slot_mean
+        )
+
+    def test_serves_cover_all_members(self, stats):
+        aggregated, result = stats
+        members = result.n - len(result.leaders)
+        # every member was granted a cluster color at least once
+        assert aggregated.serves_total >= members
+
+    def test_request_waits_positive(self, stats):
+        aggregated, _ = stats
+        assert aggregated.request_wait_mean > 0
+        assert aggregated.request_wait_max >= aggregated.request_wait_mean
+
+    def test_reset_counters_consistent(self, stats):
+        aggregated, result = stats
+        assert aggregated.resets_total == len(result.trace.of_kind("reset"))
+        assert aggregated.resets_per_node_max >= aggregated.resets_per_node_mean
+
+    def test_rows_render(self, stats):
+        aggregated, _ = stats
+        rows = aggregated.rows()
+        assert len(rows) == 10
+        assert all({"statistic", "value"} <= set(r) for r in rows)
+
+    def test_untraced_run_rejected(self, small_deployment, params):
+        from repro import run_mw_coloring
+
+        result = run_mw_coloring(
+            small_deployment, params, seed=2, max_slots=50
+        )  # trace off
+        with pytest.raises(ConfigurationError):
+            trace_statistics(result)

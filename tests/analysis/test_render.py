@@ -1,0 +1,64 @@
+"""Unit tests for the ASCII renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import render_coloring, render_deployment
+from repro.errors import ConfigurationError
+
+
+class TestRenderDeployment:
+    def test_marks_every_isolated_node(self):
+        positions = np.array([[0.0, 0.0], [5.0, 5.0], [0.0, 5.0]])
+        art = render_deployment(positions, width=20)
+        assert art.count("*") == 3
+
+    def test_overlap_marker(self):
+        positions = np.array([[0.0, 0.0], [0.0, 0.0], [5.0, 5.0]])
+        art = render_deployment(positions, width=10)
+        assert "+" in art
+
+    def test_width_respected(self):
+        positions = np.random.default_rng(0).uniform(0, 4, size=(30, 2))
+        art = render_deployment(positions, width=40)
+        assert all(len(line) == 40 for line in art.splitlines())
+
+    def test_single_point(self):
+        art = render_deployment(np.array([[1.0, 1.0]]), width=8)
+        assert art.count("*") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_deployment(np.zeros((0, 2)))
+
+
+class TestRenderColoring:
+    def test_leaders_rendered_as_at(self):
+        positions = np.array([[0.0, 0.0], [5.0, 5.0]])
+        art = render_coloring(positions, np.array([0, 3]), width=12)
+        assert "@" in art
+        assert "leaders" in art
+
+    def test_distinct_colors_distinct_glyphs(self):
+        positions = np.array([[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]])
+        art = render_coloring(positions, np.array([1, 2, 3]), width=30)
+        body = art.splitlines()[:-1]
+        glyphs = {ch for line in body for ch in line if ch != " "}
+        assert len(glyphs) == 3
+
+    def test_legend_counts_classes(self):
+        positions = np.array([[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]])
+        art = render_coloring(positions, np.array([1, 1, 7]), width=30)
+        assert "2 color classes" in art
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_coloring(np.zeros((2, 2)), np.array([0]))
+
+    def test_many_colors_cycle_glyphs(self):
+        n = 100
+        positions = np.column_stack(
+            [np.arange(n, dtype=float), np.zeros(n)]
+        )
+        art = render_coloring(positions, np.arange(n), width=120)
+        assert isinstance(art, str)

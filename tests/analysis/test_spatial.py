@@ -1,0 +1,84 @@
+"""Unit tests for link-budget analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spatial import link_budget, link_budgets, weakest_links
+from repro.graphs.udg import UnitDiskGraph
+from repro.sinr.params import PhysicalParams
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PhysicalParams().with_r_t(1.0)
+
+
+class TestLinkBudget:
+    def test_budget_at_rt_equals_noise(self, params):
+        # the paper's margin: at exactly R_T, tolerable interference == N
+        assert link_budget(params, params.r_t) == pytest.approx(params.noise)
+
+    def test_budget_at_rmax_is_zero(self, params):
+        assert link_budget(params, params.r_max) == pytest.approx(0.0, abs=1e-12)
+
+    def test_short_links_have_huge_budgets(self, params):
+        assert link_budget(params, 0.5) > 10 * params.noise
+
+    def test_monotone_decreasing_in_length(self, params):
+        lengths = [0.3, 0.6, 0.9, 1.1]
+        budgets = [link_budget(params, x) for x in lengths]
+        assert budgets == sorted(budgets, reverse=True)
+
+    def test_zero_length_rejected(self, params):
+        with pytest.raises(ValueError):
+            link_budget(params, 0.0)
+
+
+class TestLinkBudgets:
+    def test_both_directions_listed(self, params):
+        positions = np.array([[0.0, 0.0], [0.8, 0.0]])
+        graph = UnitDiskGraph(positions, params.r_t)
+        budgets = link_budgets(graph, params)
+        pairs = {(b.sender, b.receiver) for b in budgets}
+        assert pairs == {(0, 1), (1, 0)}
+
+    def test_symmetric_budgets(self, params):
+        positions = np.array([[0.0, 0.0], [0.8, 0.0]])
+        graph = UnitDiskGraph(positions, params.r_t)
+        a, b = link_budgets(graph, params)
+        assert a.budget == b.budget
+        assert a.margin_db == b.margin_db
+
+    def test_margin_db_positive_within_rt(self, params):
+        positions = np.array([[0.0, 0.0], [0.7, 0.0]])
+        graph = UnitDiskGraph(positions, params.r_t)
+        budgets = link_budgets(graph, params)
+        assert all(b.margin_db > 0 for b in budgets)
+
+    def test_empty_graph(self, params):
+        graph = UnitDiskGraph(np.array([[0.0, 0.0]]), params.r_t)
+        assert link_budgets(graph, params) == []
+
+
+class TestWeakestLinks:
+    def test_sorted_ascending(self, params):
+        rng = np.random.default_rng(1)
+        positions = rng.uniform(0, 5, size=(40, 2))
+        graph = UnitDiskGraph(positions, params.r_t)
+        weakest = weakest_links(graph, params, count=6)
+        values = [b.budget for b in weakest]
+        assert values == sorted(values)
+
+    def test_weakest_are_longest(self, params):
+        rng = np.random.default_rng(2)
+        positions = rng.uniform(0, 5, size=(40, 2))
+        graph = UnitDiskGraph(positions, params.r_t)
+        all_budgets = link_budgets(graph, params)
+        weakest = weakest_links(graph, params, count=4)
+        longest = max(b.length for b in all_budgets)
+        assert weakest[0].length == pytest.approx(longest)
+
+    def test_count_validation(self, params):
+        graph = UnitDiskGraph(np.array([[0.0, 0.0]]), params.r_t)
+        with pytest.raises(ValueError):
+            weakest_links(graph, params, count=-1)

@@ -1,0 +1,47 @@
+"""Unit tests for the sweep harness."""
+
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.errors import ConfigurationError
+
+
+class TestSweep:
+    def test_cross_product_with_seeds(self):
+        rows = sweep(
+            lambda seed, a, b: {"value": a * b + seed},
+            grid={"a": [1, 2], "b": [10]},
+            seeds=[0, 1],
+        )
+        assert len(rows) == 4
+        assert rows[0] == {"a": 1, "b": 10, "seed": 0, "value": 10}
+        assert rows[-1] == {"a": 2, "b": 10, "seed": 1, "value": 21}
+
+    def test_none_skips(self):
+        rows = sweep(
+            lambda seed, a: None if a == 1 else {"v": a},
+            grid={"a": [1, 2]},
+        )
+        assert len(rows) == 1
+        assert rows[0]["a"] == 2
+
+    def test_list_of_rows_flattened(self):
+        rows = sweep(
+            lambda seed, a: [{"part": 0}, {"part": 1}],
+            grid={"a": [5]},
+        )
+        assert len(rows) == 2
+        assert all(r["a"] == 5 for r in rows)
+
+    def test_run_keys_take_precedence(self):
+        rows = sweep(lambda seed, a: {"a": 99}, grid={"a": [1]})
+        assert rows[0]["a"] == 99
+
+    def test_progress_callback(self):
+        seen = []
+        sweep(lambda seed, a: {"v": a}, grid={"a": [1, 2]}, progress=seen.append)
+        assert len(seen) == 2
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep(lambda seed: {}, grid={})

@@ -1,0 +1,46 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert lines[2].split() == ["1", "x"]
+        assert lines[3].split() == ["22", "yy"]
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="EXP-1")
+        assert text.startswith("EXP-1")
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].split() == ["b", "a"]
+
+    def test_missing_value_dash(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "-" in text.splitlines()[2]
+
+    def test_bool_rendering(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_float_rendering(self):
+        text = format_table([{"v": 0.123456}])
+        assert "0.123" in text
+
+    def test_large_float_compact(self):
+        text = format_table([{"v": 123456.789}])
+        assert "1.23e+05" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([{"a": 1}], columns=[])

@@ -1,0 +1,58 @@
+"""Unit tests for theoretical predictions."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    lemma3_interference_bound,
+    mac_distance,
+    palette_bound,
+    simulation_slot_bound,
+    time_bound_shape,
+)
+from repro.sinr.params import PhysicalParams
+
+
+class TestPaletteBound:
+    def test_formula(self):
+        assert palette_bound(phi_2rt=5, delta=10) == 66
+
+    def test_linear_in_delta(self):
+        assert palette_bound(5, 20) - palette_bound(5, 10) == 60
+
+
+class TestTimeShape:
+    def test_formula(self):
+        assert time_bound_shape(10, 100) == pytest.approx(10 * math.log(100))
+
+    def test_log_clamped(self):
+        assert time_bound_shape(10, 2) == pytest.approx(10.0)
+
+    def test_monotone(self):
+        assert time_bound_shape(10, 1000) > time_bound_shape(10, 100)
+        assert time_bound_shape(20, 100) > time_bound_shape(10, 100)
+
+
+class TestPhysicalBounds:
+    def test_lemma3_matches_params(self):
+        params = PhysicalParams().with_r_t(1.0)
+        assert lemma3_interference_bound(params) == pytest.approx(
+            params.power / (2 * params.rho * params.beta)
+        )
+
+    def test_mac_distance_matches_params(self):
+        params = PhysicalParams()
+        assert mac_distance(params) == params.mac_distance
+
+
+class TestSimulationBound:
+    def test_additive_structure(self):
+        base = simulation_slot_bound(delta=10, n=100, tau=0, frame_length=30)
+        with_rounds = simulation_slot_bound(delta=10, n=100, tau=5, frame_length=30)
+        assert with_rounds - base == 150
+
+    def test_zero_rounds(self):
+        assert simulation_slot_bound(10, 100, 0, 30) == math.ceil(
+            time_bound_shape(10, 100)
+        )

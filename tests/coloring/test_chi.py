@@ -1,0 +1,62 @@
+"""Unit tests for the restart value chi(P_v) (Fig. 1 line 6)."""
+
+import pytest
+
+from repro.coloring.mw_node import chi
+from repro.errors import ProtocolError
+
+
+class TestChi:
+    def test_empty_set_gives_zero(self):
+        assert chi({}, 5) == 0
+
+    def test_zero_allowed_when_outside_windows(self):
+        assert chi({1: 100}, 5) == 0
+
+    def test_blocked_zero_steps_below_window(self):
+        # window [d-2, d+2] around d=1 blocks {-1..3}; max allowed <= 0 is -2
+        assert chi({1: 1}, 2) == -2
+
+    def test_multiple_overlapping_windows(self):
+        # windows around 0 and -5 with half-width 3: [-3,3] and [-8,-2]
+        # candidate 0 blocked -> -4 blocked by second -> -9
+        assert chi({1: 0, 2: -5}, 3) == -9
+
+    def test_disjoint_windows_fall_between(self):
+        # windows [8,12] and [-12,-8]: 0 is free
+        assert chi({1: 10, 2: -10}, 2) == 0
+
+    def test_gap_between_windows_used(self):
+        # windows [-4,0] and [-12,-8]: first free value below 0 is -5
+        assert chi({1: -2, 2: -10}, 2) == -5
+
+    def test_result_always_outside_all_windows(self):
+        counters = {1: 4, 2: -3, 3: -9, 4: -9, 5: 0}
+        window = 3
+        value = chi(counters, window)
+        assert value <= 0
+        for d in counters.values():
+            assert not (d - window <= value <= d + window)
+
+    def test_maximality(self):
+        counters = {1: -4}
+        window = 2
+        value = chi(counters, window)
+        # every integer in (value, 0] must be blocked
+        for candidate in range(value + 1, 1):
+            assert any(
+                d - window <= candidate <= d + window for d in counters.values()
+            )
+
+    def test_window_zero(self):
+        assert chi({1: 0}, 0) == -1
+        assert chi({1: -1}, 0) == 0
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ProtocolError):
+            chi({}, -1)
+
+    def test_many_counters_terminate(self):
+        counters = {i: -3 * i for i in range(50)}
+        value = chi(counters, 1)
+        assert value <= -149

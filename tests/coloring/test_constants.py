@@ -1,0 +1,144 @@
+"""Unit tests for the Section II algorithm constants."""
+
+import math
+
+import pytest
+
+from repro.coloring.constants import AlgorithmConstants
+from repro.errors import ConfigurationError
+from repro.sinr.params import PhysicalParams
+
+
+@pytest.fixture()
+def params():
+    return PhysicalParams().with_r_t(1.0)
+
+
+class TestTheoretical:
+    def test_paper_inequalities_hold(self, params):
+        constants = AlgorithmConstants.theoretical(params, delta=20, n=1000)
+        constants.check_inequalities(strict_eta=True)
+
+    def test_sigma_exceeds_two_gamma(self, params):
+        # "By a routine computation, one can easily verify sigma > 2 gamma"
+        for delta in (1, 5, 50):
+            constants = AlgorithmConstants.theoretical(params, delta=delta, n=100)
+            assert constants.sigma > 2 * constants.gamma
+
+    def test_probabilities_match_formulas(self, params):
+        from repro.geometry.density import phi_upper_bound
+
+        delta = 10
+        constants = AlgorithmConstants.theoretical(params, delta=delta, n=100)
+        phi = phi_upper_bound(params.r_i + params.r_t, params.r_t)
+        assert constants.q_l == pytest.approx(1.0 / phi)
+        assert constants.q_s == pytest.approx(1.0 / (phi * delta))
+
+    def test_eta_equality_form(self, params):
+        constants = AlgorithmConstants.theoretical(params, delta=10, n=100)
+        expected = 2 * constants.gamma * constants.phi_2rt + constants.sigma + 1
+        assert constants.eta == pytest.approx(expected)
+
+    def test_c_below_five_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            AlgorithmConstants.theoretical(params, delta=10, n=100, c=4.0)
+
+    def test_theoretical_constants_are_huge(self, params):
+        # documents *why* the simulation presets exist
+        constants = AlgorithmConstants.theoretical(params, delta=10, n=100)
+        assert constants.listen_slots > 10**6
+
+
+class TestPractical:
+    def test_defaults_valid(self):
+        constants = AlgorithmConstants.practical(delta=15, n=120)
+        constants.check_inequalities()
+
+    def test_sigma_default_respects_relation(self):
+        constants = AlgorithmConstants.practical(delta=15, n=120, gamma=3.0)
+        assert constants.sigma == pytest.approx(7.0)
+
+    def test_rejects_sigma_below_two_gamma(self):
+        with pytest.raises(ConfigurationError):
+            AlgorithmConstants.practical(delta=10, n=100, gamma=5.0, sigma=9.0)
+
+    def test_qs_scales_inversely_with_delta(self):
+        a = AlgorithmConstants.practical(delta=10, n=100)
+        b = AlgorithmConstants.practical(delta=20, n=100)
+        assert a.q_s == pytest.approx(2 * b.q_s)
+
+    def test_delta_one(self):
+        constants = AlgorithmConstants.practical(delta=1, n=2)
+        assert 0 < constants.q_s <= 1
+
+
+class TestIntervals:
+    def test_zeta(self):
+        constants = AlgorithmConstants.practical(delta=7, n=50)
+        assert constants.zeta(0) == 1
+        assert constants.zeta(1) == 7
+        assert constants.zeta(99) == 7
+
+    def test_listen_slots_formula(self):
+        constants = AlgorithmConstants.practical(delta=10, n=100, eta=2.0)
+        assert constants.listen_slots == math.ceil(2.0 * 10 * math.log(100))
+
+    def test_threshold_formula(self):
+        constants = AlgorithmConstants.practical(delta=10, n=100, gamma=2.0, sigma=5.0)
+        assert constants.counter_threshold == math.ceil(5.0 * 10 * math.log(100))
+
+    def test_reset_window_scales_with_zeta(self):
+        constants = AlgorithmConstants.practical(delta=10, n=100, gamma=2.0)
+        assert constants.reset_window(1) == math.ceil(
+            10 * (constants.reset_window(0) - 1)
+        ) or constants.reset_window(1) == math.ceil(2.0 * 10 * math.log(100))
+
+    def test_log_term_clamped_for_tiny_n(self):
+        constants = AlgorithmConstants.practical(delta=2, n=2)
+        assert constants.log_term == 1.0
+
+    def test_state_spacing(self):
+        constants = AlgorithmConstants.practical(delta=5, n=20, phi_2rt=4)
+        assert constants.state_spacing == 5
+
+    def test_serve_slots_formula(self):
+        constants = AlgorithmConstants.practical(delta=10, n=100, mu=3.0)
+        assert constants.serve_slots == math.ceil(3.0 * math.log(100))
+
+
+class TestScaled:
+    def test_scaling_preserves_ratios(self):
+        base = AlgorithmConstants.practical(delta=10, n=100)
+        scaled = base.scaled(0.5)
+        assert scaled.gamma == pytest.approx(base.gamma * 0.5)
+        assert scaled.sigma == pytest.approx(base.sigma * 0.5)
+        assert scaled.eta == pytest.approx(base.eta * 0.5)
+        assert scaled.mu == pytest.approx(base.mu * 0.5)
+        assert scaled.q_s == base.q_s  # probabilities untouched
+
+    def test_scaling_preserves_inequality(self):
+        base = AlgorithmConstants.practical(delta=10, n=100)
+        base.scaled(0.25).check_inequalities()
+
+    def test_preset_label_annotated(self):
+        base = AlgorithmConstants.practical(delta=10, n=100)
+        assert "0.5" in base.scaled(0.5).preset
+
+    def test_rejects_nonpositive_factor(self):
+        base = AlgorithmConstants.practical(delta=10, n=100)
+        with pytest.raises(ConfigurationError):
+            base.scaled(0.0)
+
+
+class TestValidation:
+    def test_describe(self):
+        text = AlgorithmConstants.practical(delta=10, n=100).describe()
+        assert "Delta=10" in text
+        assert "threshold" in text
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            AlgorithmConstants(
+                delta=5, n=10, gamma=1.0, sigma=3.0, eta=1.0, mu=1.0,
+                q_s=1.5, q_l=0.5, phi_2rt=3,
+            )

@@ -1,0 +1,48 @@
+"""Integration tests for distance-d coloring via power boosting (Section V)."""
+
+import pytest
+
+from repro import PhysicalParams, uniform_deployment
+from repro.coloring.distance_d import run_distance_d_coloring
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PhysicalParams().with_r_t(1.0)
+
+
+@pytest.fixture(scope="module")
+def d2_run(params):
+    # a sparse-ish deployment keeps Delta_{G^2} moderate so the run is fast
+    dep = uniform_deployment(50, 8.0, seed=21)
+    result = run_distance_d_coloring(dep, params, d=2.0, seed=4)
+    return dep, result
+
+
+class TestDistanceD:
+    def test_completes(self, d2_run):
+        _, result = d2_run
+        assert result.stats.completed
+
+    def test_valid_at_distance_d(self, d2_run, params):
+        dep, result = d2_run
+        assert result.coloring.is_valid(dep.positions, params.r_t, d=2.0)
+
+    def test_also_valid_at_distance_one(self, d2_run, params):
+        dep, result = d2_run
+        assert result.coloring.is_valid(dep.positions, params.r_t, d=1.0)
+
+    def test_graph_radius_is_boosted(self, d2_run, params):
+        _, result = d2_run
+        assert result.graph.radius == pytest.approx(2.0 * params.r_t)
+
+    def test_constants_retuned_for_boosted_graph(self, d2_run):
+        _, result = d2_run
+        # Delta of G^2 strictly dominates Delta of G on this deployment
+        assert result.constants.delta == result.graph.max_degree
+
+    def test_invalid_d_rejected(self, params):
+        dep = uniform_deployment(10, 5.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            run_distance_d_coloring(dep, params, d=0.0)

@@ -1,0 +1,94 @@
+"""Tests for the unknown-Delta degree-estimation extension."""
+
+import numpy as np
+import pytest
+
+from repro import PhysicalParams, UnitDiskGraph, uniform_deployment
+from repro.coloring.estimation import (
+    estimate_degrees,
+    run_mw_coloring_estimated_delta,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PhysicalParams().with_r_t(1.0)
+
+
+@pytest.fixture(scope="module")
+def probe(params):
+    dep = uniform_deployment(80, 5.5, seed=3)
+    graph = UnitDiskGraph(dep.positions, params.r_t)
+    estimate = estimate_degrees(dep, params, seed=1)
+    return dep, graph, estimate
+
+
+class TestEstimateDegrees:
+    def test_heard_counts_lower_bound_degrees(self, probe):
+        _, graph, estimate = probe
+        assert np.all(estimate.heard_counts <= graph.degrees)
+
+    def test_most_neighbors_heard(self, probe):
+        _, graph, estimate = probe
+        ratio = estimate.heard_counts / np.maximum(1, graph.degrees)
+        assert ratio.mean() > 0.85
+
+    def test_max_estimate_brackets_true_delta(self, probe):
+        _, graph, estimate = probe
+        assert graph.max_degree <= estimate.max_estimate
+        assert estimate.max_estimate <= 4 * graph.max_degree
+
+    def test_probe_cost_logarithmic_shape(self, probe):
+        # phases * slots_per_phase + aggregation — independent of n
+        _, _, estimate = probe
+        assert estimate.slots_used == 12 * 40
+
+    def test_deterministic(self, params):
+        dep = uniform_deployment(40, 5.0, seed=7)
+        a = estimate_degrees(dep, params, seed=2)
+        b = estimate_degrees(dep, params, seed=2)
+        np.testing.assert_array_equal(a.estimates, b.estimates)
+
+    def test_aggregation_spreads_maximum(self, params):
+        dep = uniform_deployment(60, 5.0, seed=9)
+        none = estimate_degrees(dep, params, seed=2, aggregation_rounds=0)
+        some = estimate_degrees(dep, params, seed=2, aggregation_rounds=2)
+        # aggregation can only raise per-node estimates
+        assert some.estimates.mean() >= none.estimates.mean()
+
+    def test_isolated_node_estimates_one(self, params):
+        positions = np.array([[0.0, 0.0], [50.0, 50.0]])
+        estimate = estimate_degrees(positions, params, seed=0)
+        assert estimate.heard_counts[0] == 0
+        assert estimate.estimates[0] >= 1
+
+    def test_validation(self, params):
+        with pytest.raises(ConfigurationError):
+            estimate_degrees(np.zeros((2, 2)), params, phases=0)
+
+
+class TestUnknownDeltaColoring:
+    def test_end_to_end_proper(self, params):
+        dep = uniform_deployment(70, 5.5, seed=4)
+        graph = UnitDiskGraph(dep.positions, params.r_t)
+        result, estimate = run_mw_coloring_estimated_delta(dep, params, seed=5)
+        assert result.stats.completed
+        assert result.is_proper()
+        assert result.constants.delta == estimate.max_estimate
+        assert result.constants.delta >= graph.max_degree
+
+    def test_n_upper_bound_stretches_log(self, params):
+        dep = uniform_deployment(40, 5.0, seed=6)
+        exact, _ = run_mw_coloring_estimated_delta(dep, params, seed=5)
+        bounded, _ = run_mw_coloring_estimated_delta(
+            dep, params, seed=5, n_upper_bound=40_000
+        )
+        assert bounded.stats.completed and bounded.is_proper()
+        # overestimating n only lengthens the run (ln factor), never breaks it
+        assert bounded.slots_to_complete >= exact.slots_to_complete
+
+    def test_n_bound_below_n_rejected(self, params):
+        dep = uniform_deployment(40, 5.0, seed=6)
+        with pytest.raises(ConfigurationError):
+            run_mw_coloring_estimated_delta(dep, params, n_upper_bound=10)

@@ -1,0 +1,52 @@
+"""Unit tests for the MW message types."""
+
+import pytest
+
+from repro.coloring.messages import MsgA, MsgC, MsgR
+
+
+class TestMsgA:
+    def test_fields(self):
+        msg = MsgA(i=3, sender=7, counter=-12)
+        assert (msg.i, msg.sender, msg.counter) == (3, 7, -12)
+
+    def test_hashable_and_equal(self):
+        assert MsgA(1, 2, 3) == MsgA(1, 2, 3)
+        assert len({MsgA(1, 2, 3), MsgA(1, 2, 3), MsgA(1, 2, 4)}) == 2
+
+
+class TestMsgC:
+    def test_announcement(self):
+        msg = MsgC(i=5, sender=2)
+        assert not msg.is_grant
+        assert msg.target is None
+
+    def test_grant(self):
+        msg = MsgC(i=0, sender=2, target=9, tc=3)
+        assert msg.is_grant
+        assert msg.tc == 3
+
+    def test_grant_requires_both_fields(self):
+        with pytest.raises(ValueError):
+            MsgC(i=0, sender=2, target=9)
+        with pytest.raises(ValueError):
+            MsgC(i=0, sender=2, tc=3)
+
+    def test_only_leaders_grant(self):
+        with pytest.raises(ValueError):
+            MsgC(i=4, sender=2, target=9, tc=3)
+
+    def test_frozen(self):
+        msg = MsgC(i=0, sender=1)
+        with pytest.raises(AttributeError):
+            msg.i = 2
+
+
+class TestMsgR:
+    def test_fields(self):
+        msg = MsgR(sender=4, leader=11)
+        assert (msg.sender, msg.leader) == (4, 11)
+
+    def test_equality(self):
+        assert MsgR(1, 2) == MsgR(1, 2)
+        assert MsgR(1, 2) != MsgR(2, 1)

@@ -1,0 +1,320 @@
+"""Unit tests for the MW node state machine, driven by a stub API.
+
+These tests step a single node through the Figure 1-3 transitions with
+hand-crafted message sequences, pinning the exact slot arithmetic of the
+lazy-counter implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring.constants import AlgorithmConstants
+from repro.coloring.messages import MsgA, MsgC, MsgR
+from repro.coloring.mw_node import (
+    MWColoringNode,
+    MWSharedConfig,
+    PHASE_COMPETE,
+    PHASE_LISTEN,
+    STATE_A,
+    STATE_C,
+    STATE_R,
+)
+from repro.simulation.trace import TraceRecorder
+
+
+class StubApi:
+    """Minimal EventApi stand-in recording scheduling calls."""
+
+    def __init__(self, node=0):
+        self.node = node
+        self.slot = 0
+        self.rng = np.random.default_rng(0)
+        self.rate = None
+        self.timer = None
+
+    def set_rate(self, probability):
+        self.rate = probability
+
+    def set_timer(self, slot):
+        self.timer = slot
+
+    def cancel_timer(self):
+        self.timer = None
+
+    def flip(self, probability):
+        return self.rng.random() < probability
+
+
+def make_node(**overrides):
+    """A node with tiny, exactly computable constants.
+
+    delta=2, n=2 (log term clamps to 1) gives: listen=2 slots, threshold=6,
+    window(0)=1, window(i>0)=2, serve=1, spacing=3.
+    """
+    defaults = dict(
+        delta=2, n=2, gamma=1.0, sigma=3.0, eta=1.0, mu=1.0,
+        q_s=0.5, q_l=0.5, phi_2rt=2,
+    )
+    defaults.update(overrides)
+    constants = AlgorithmConstants(**defaults)
+    trace = TraceRecorder()
+    config = MWSharedConfig(constants=constants, trace=trace)
+    node = MWColoringNode(node_id=0, config=config)
+    api = StubApi()
+    return node, api, constants
+
+
+class TestWakeAndListen:
+    def test_wake_enters_a0_listening(self):
+        node, api, constants = make_node()
+        node.on_wake(api)
+        assert node.state_class == STATE_A
+        assert node.state_index == 0
+        assert node.phase == PHASE_LISTEN
+        assert api.rate == 0.0
+        assert api.timer == constants.listen_slots - 1
+
+    def test_listen_records_competitors(self):
+        node, api, _ = make_node()
+        node.on_wake(api)
+        api.slot = 1
+        node.on_receive(api, 5, MsgA(i=0, sender=5, counter=3))
+        assert node.tracked_counters(1) == {5: 3}
+        # lazy advance: one slot later the copy has ticked
+        assert node.tracked_counters(2) == {5: 4}
+
+    def test_listen_end_starts_competition(self):
+        node, api, constants = make_node()
+        node.on_wake(api)
+        api.slot = constants.listen_slots - 1
+        node.on_timer(api)
+        assert node.phase == PHASE_COMPETE
+        assert api.rate == constants.q_s
+        # empty P_v: chi = 0, threshold reached 6 slots later
+        assert node.counter_at(api.slot) == 0
+        assert api.timer == api.slot + constants.counter_threshold
+
+    def test_chi_avoids_heard_competitor(self):
+        node, api, constants = make_node()
+        node.on_wake(api)
+        api.slot = 1
+        # competitor counter 2 at slot 1 -> value 2 at the chi slot (slot 1)
+        node.on_receive(api, 5, MsgA(i=0, sender=5, counter=2))
+        node.on_timer(api)  # listen ends at slot 1 (listen_slots=2)
+        # window(0)=1 blocks {1,2,3}; 0 is legal and maximal
+        assert node.counter_at(1) == 0
+
+
+class TestCompetition:
+    def advance_to_compete(self, node, api, constants):
+        node.on_wake(api)
+        api.slot = constants.listen_slots - 1
+        node.on_timer(api)
+
+    def test_payload_carries_lazy_counter(self):
+        node, api, constants = make_node()
+        self.advance_to_compete(node, api, constants)
+        start = api.slot
+        api.slot = start + 4
+        payload = node.make_payload(api)
+        assert isinstance(payload, MsgA)
+        assert payload.counter == 4
+        assert payload.i == 0
+
+    def test_close_counter_triggers_reset(self):
+        node, api, constants = make_node()
+        self.advance_to_compete(node, api, constants)
+        start = api.slot
+        api.slot = start + 3  # c_v = 3
+        node.on_receive(api, 5, MsgA(i=0, sender=5, counter=3))
+        # |3 - 3| <= window(0)=1 -> reset; chi must dodge [2, 4]
+        assert node.counter_at(api.slot) <= 0
+        assert api.timer == api.slot + (
+            constants.counter_threshold - node.counter_at(api.slot)
+        )
+
+    def test_distant_counter_no_reset(self):
+        node, api, constants = make_node()
+        self.advance_to_compete(node, api, constants)
+        start = api.slot
+        api.slot = start + 3  # c_v = 3
+        node.on_receive(api, 5, MsgA(i=0, sender=5, counter=-10))
+        assert node.counter_at(api.slot) == 3
+
+    def test_wrong_index_msga_ignored(self):
+        node, api, constants = make_node()
+        self.advance_to_compete(node, api, constants)
+        api.slot += 2
+        node.on_receive(api, 5, MsgA(i=7, sender=5, counter=2))
+        assert node.tracked_counters(api.slot) == {}
+
+    def test_threshold_timer_enters_c(self):
+        node, api, constants = make_node()
+        self.advance_to_compete(node, api, constants)
+        api.slot = api.timer
+        node.on_timer(api)
+        assert node.state_class == STATE_C
+        assert node.color == 0
+        assert node.decided
+        assert node.is_leader
+        assert node.decision_slot == api.slot
+
+
+class TestClusterFlow:
+    def test_msgc_moves_a0_to_r(self):
+        node, api, constants = make_node()
+        node.on_wake(api)
+        api.slot = 1
+        node.on_receive(api, 9, MsgC(i=0, sender=9))
+        assert node.state_class == STATE_R
+        assert node.leader == 9
+        assert api.rate == constants.q_s
+
+    def test_targeted_grant_of_other_node_still_clusters(self):
+        # an overheard grant M_C^0(w, other, tc) is also a leader announcement
+        node, api, _ = make_node()
+        node.on_wake(api)
+        api.slot = 1
+        node.on_receive(api, 9, MsgC(i=0, sender=9, target=4, tc=2))
+        assert node.state_class == STATE_R
+        assert node.leader == 9
+
+    def test_r_payload_is_request(self):
+        node, api, _ = make_node()
+        node.on_wake(api)
+        api.slot = 1
+        node.on_receive(api, 9, MsgC(i=0, sender=9))
+        payload = node.make_payload(api)
+        assert payload == MsgR(sender=0, leader=9)
+
+    def test_grant_starts_spaced_competition(self):
+        node, api, constants = make_node()
+        node.on_wake(api)
+        api.slot = 1
+        node.on_receive(api, 9, MsgC(i=0, sender=9))
+        api.slot = 10
+        node.on_receive(api, 9, MsgC(i=0, sender=9, target=0, tc=2))
+        assert node.state_class == STATE_A
+        assert node.state_index == 2 * constants.state_spacing
+        assert node.phase == PHASE_LISTEN
+        assert node.cluster_color == 2
+        # listening restarted from the next slot
+        assert api.timer == 11 + constants.listen_slots - 1
+
+    def test_grant_from_wrong_leader_ignored(self):
+        node, api, _ = make_node()
+        node.on_wake(api)
+        api.slot = 1
+        node.on_receive(api, 9, MsgC(i=0, sender=9))
+        node.on_receive(api, 8, MsgC(i=0, sender=8, target=0, tc=1))
+        assert node.state_class == STATE_R
+
+    def test_msgc_in_higher_state_advances(self):
+        node, api, constants = make_node()
+        node.on_wake(api)
+        api.slot = 1
+        node.on_receive(api, 9, MsgC(i=0, sender=9))
+        api.slot = 10
+        node.on_receive(api, 9, MsgC(i=0, sender=9, target=0, tc=1))
+        i = node.state_index
+        api.slot = 12
+        node.on_receive(api, 4, MsgC(i=i, sender=4))
+        assert node.state_index == i + 1  # A_suc = A_{i+1}
+        assert node.phase == PHASE_LISTEN
+
+
+class TestColoredNonLeader:
+    def make_colored(self, i=4):
+        node, api, constants = make_node()
+        node.on_wake(api)
+        api.slot = 1
+        node.on_receive(api, 9, MsgC(i=0, sender=9))
+        api.slot = 2
+        node.on_receive(api, 9, MsgC(i=0, sender=9, target=0, tc=1))
+        # fast-forward: listen end, then threshold
+        api.slot = api.timer
+        node.on_timer(api)
+        api.slot = api.timer
+        node.on_timer(api)
+        return node, api, constants
+
+    def test_color_is_state_index(self):
+        node, api, constants = self.make_colored()
+        assert node.color == constants.state_spacing  # tc=1 * spacing
+        assert not node.is_leader
+
+    def test_payload_announces_color(self):
+        node, api, _ = self.make_colored()
+        payload = node.make_payload(api)
+        assert payload == MsgC(i=node.color, sender=0)
+
+    def test_ignores_traffic(self):
+        node, api, _ = self.make_colored()
+        color = node.color
+        node.on_receive(api, 3, MsgC(i=color, sender=3))
+        node.on_receive(api, 3, MsgR(sender=3, leader=0))
+        assert node.color == color
+        assert node.state_class == STATE_C
+
+
+class TestLeader:
+    def make_leader(self):
+        node, api, constants = make_node()
+        node.on_wake(api)
+        api.slot = constants.listen_slots - 1
+        node.on_timer(api)  # compete
+        api.slot = api.timer
+        node.on_timer(api)  # threshold -> C_0
+        assert node.is_leader
+        return node, api, constants
+
+    def test_idle_leader_announces(self):
+        node, api, constants = self.make_leader()
+        assert api.rate == constants.q_l
+        assert node.make_payload(api) == MsgC(i=0, sender=0)
+
+    def test_request_starts_service(self):
+        node, api, constants = self.make_leader()
+        slot = api.slot + 1
+        api.slot = slot
+        node.on_receive(api, 7, MsgR(sender=7, leader=0))
+        assert api.timer == slot + constants.serve_slots
+        grant = node.make_payload(api)
+        assert grant == MsgC(i=0, sender=0, target=7, tc=1)
+
+    def test_requests_for_other_leader_ignored(self):
+        node, api, _ = self.make_leader()
+        node.on_receive(api, 7, MsgR(sender=7, leader=99))
+        assert node.make_payload(api) == MsgC(i=0, sender=0)
+
+    def test_distinct_tc_per_requester(self):
+        node, api, constants = self.make_leader()
+        api.slot += 1
+        node.on_receive(api, 7, MsgR(sender=7, leader=0))
+        node.on_receive(api, 8, MsgR(sender=8, leader=0))
+        # finish serving 7
+        api.slot = api.timer
+        node.on_timer(api)
+        grant = node.make_payload(api)
+        assert grant == MsgC(i=0, sender=0, target=8, tc=2)
+
+    def test_duplicate_request_not_requeued(self):
+        node, api, constants = self.make_leader()
+        api.slot += 1
+        node.on_receive(api, 7, MsgR(sender=7, leader=0))
+        node.on_receive(api, 7, MsgR(sender=7, leader=0))
+        api.slot = api.timer
+        node.on_timer(api)
+        # queue drained: back to announcements
+        assert node.make_payload(api) == MsgC(i=0, sender=0)
+
+    def test_rerequest_after_lost_grant_reuses_tc(self):
+        node, api, constants = self.make_leader()
+        api.slot += 1
+        node.on_receive(api, 7, MsgR(sender=7, leader=0))
+        api.slot = api.timer
+        node.on_timer(api)  # service over, grant may have been lost
+        api.slot += 5
+        node.on_receive(api, 7, MsgR(sender=7, leader=0))
+        grant = node.make_payload(api)
+        assert grant == MsgC(i=0, sender=0, target=7, tc=1)  # same tc

@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Full MW coloring runs cost seconds; the session-scoped fixtures here run
+them once and let every integration test inspect the same result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    PhysicalParams,
+    UnitDiskGraph,
+    uniform_deployment,
+)
+from repro.coloring.runner import run_mw_coloring_audited
+
+
+@pytest.fixture(scope="session")
+def params() -> PhysicalParams:
+    """Default physics normalised to R_T = 1 (coordinates in range units)."""
+    return PhysicalParams().with_r_t(1.0)
+
+
+@pytest.fixture(scope="session")
+def small_deployment():
+    """A 60-node deployment small enough for second-scale protocol runs."""
+    return uniform_deployment(n=60, extent=5.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_deployment, params) -> UnitDiskGraph:
+    """UDG of the small deployment at communication range."""
+    return UnitDiskGraph(small_deployment.positions, params.r_t)
+
+
+@pytest.fixture(scope="session")
+def mw_run(small_deployment, params):
+    """One audited MW coloring run shared by the integration tests."""
+    result, auditor = run_mw_coloring_audited(
+        small_deployment, params, seed=2, trace=True
+    )
+    return result, auditor
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,67 @@
+"""Unit tests for the packing parameter phi(R)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.density import phi_empirical, phi_upper_bound
+from repro.geometry.deployment import grid_deployment, uniform_deployment
+
+
+class TestPhiUpperBound:
+    def test_formula(self):
+        # (2R/R_T + 1)^2 with R = 2, R_T = 1 -> 25
+        assert phi_upper_bound(2.0, 1.0) == 25
+
+    def test_zero_radius(self):
+        # a disc of radius 0 still contains the centre node
+        assert phi_upper_bound(0.0, 1.0) == 1
+
+    def test_monotone_in_radius(self):
+        values = [phi_upper_bound(r, 1.0) for r in (0.5, 1.0, 2.0, 4.0, 8.0)]
+        assert values == sorted(values)
+
+    def test_scale_invariance(self):
+        # phi depends only on the ratio R / R_T
+        assert phi_upper_bound(3.0, 1.0) == phi_upper_bound(6.0, 2.0)
+
+    def test_rejects_nonpositive_rt(self):
+        with pytest.raises(ConfigurationError):
+            phi_upper_bound(1.0, 0.0)
+
+
+class TestPhiEmpirical:
+    def test_bounded_by_analytic(self):
+        dep = uniform_deployment(300, 8.0, seed=5)
+        for radius in (1.0, 2.0, 3.0):
+            measured = phi_empirical(dep.positions, radius, 1.0)
+            assert measured <= phi_upper_bound(radius, 1.0)
+
+    def test_sparse_points_give_count(self):
+        # three mutually independent points within the disc of radius 3
+        positions = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]])
+        assert phi_empirical(positions, 3.0, 1.0) == 3
+
+    def test_single_point(self):
+        assert phi_empirical(np.array([[1.0, 1.0]]), 2.0, 1.0) == 1
+
+    def test_empty(self):
+        assert phi_empirical(np.zeros((0, 2)), 2.0, 1.0) == 0
+
+    def test_coincident_points_pack_one(self):
+        positions = np.zeros((10, 2))
+        assert phi_empirical(positions, 1.0, 1.0) == 1
+
+    def test_grid_packing(self):
+        # unit grid with spacing 1.01 > R_T = 1: all nodes are independent,
+        # so phi(R) counts the nodes within radius R of the densest centre.
+        dep = grid_deployment(side=7, spacing=1.01)
+        measured = phi_empirical(dep.positions, 1.5, 1.0)
+        # centre node + 4 axis neighbors fit in radius 1.5 (diagonal is 1.43)
+        assert measured >= 5
+
+    def test_sampling_never_exceeds_full_scan(self):
+        dep = uniform_deployment(150, 6.0, seed=3)
+        full = phi_empirical(dep.positions, 2.0, 1.0)
+        sampled = phi_empirical(dep.positions, 2.0, 1.0, sample=30, seed=1)
+        assert sampled <= full

@@ -1,0 +1,134 @@
+"""Unit tests for deployment generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DeploymentError
+from repro.geometry.deployment import (
+    Deployment,
+    clustered_deployment,
+    grid_deployment,
+    perturbed_grid_deployment,
+    poisson_deployment,
+    uniform_deployment,
+)
+
+
+class TestDeployment:
+    def test_positions_frozen(self):
+        dep = uniform_deployment(10, 5.0, seed=0)
+        with pytest.raises(ValueError):
+            dep.positions[0, 0] = 99.0
+
+    def test_len_and_n(self):
+        dep = uniform_deployment(17, 5.0, seed=0)
+        assert len(dep) == 17
+        assert dep.n == 17
+
+    def test_subset_preserves_order(self):
+        dep = uniform_deployment(10, 5.0, seed=0)
+        sub = dep.subset([4, 2, 7])
+        np.testing.assert_allclose(sub.positions[0], dep.positions[4])
+        np.testing.assert_allclose(sub.positions[1], dep.positions[2])
+        assert sub.n == 3
+
+    def test_invalid_extent(self):
+        with pytest.raises(ConfigurationError):
+            Deployment(np.zeros((1, 2)), extent=0.0)
+
+
+class TestUniform:
+    def test_inside_square(self):
+        dep = uniform_deployment(200, 7.0, seed=1)
+        assert dep.positions.min() >= 0.0
+        assert dep.positions.max() <= 7.0
+
+    def test_deterministic_per_seed(self):
+        a = uniform_deployment(50, 5.0, seed=42)
+        b = uniform_deployment(50, 5.0, seed=42)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_different_seeds_differ(self):
+        a = uniform_deployment(50, 5.0, seed=1)
+        b = uniform_deployment(50, 5.0, seed=2)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            uniform_deployment(0, 5.0, seed=0)
+
+    def test_metadata_kind(self):
+        assert uniform_deployment(5, 5.0, seed=0).kind == "uniform"
+
+
+class TestPoisson:
+    def test_mean_count_near_intensity_times_area(self):
+        counts = [
+            poisson_deployment(intensity=2.0, extent=10.0, seed=s).n
+            for s in range(20)
+        ]
+        mean = sum(counts) / len(counts)
+        assert 150 < mean < 250  # expected 200
+
+    def test_zero_realisation_raises(self):
+        # With a tiny window the Poisson count is almost surely 0; find a
+        # seed that realises it and assert the error.
+        with pytest.raises(DeploymentError):
+            for seed in range(100):
+                poisson_deployment(intensity=1e-9, extent=0.001, seed=seed)
+
+    def test_records_intensity(self):
+        dep = poisson_deployment(intensity=3.0, extent=5.0, seed=0)
+        assert dep.metadata["intensity"] == 3.0
+
+
+class TestGrid:
+    def test_count_and_spacing(self):
+        dep = grid_deployment(side=4, spacing=2.0)
+        assert dep.n == 16
+        # nearest-neighbor distance is exactly the spacing
+        diffs = dep.positions[1] - dep.positions[0]
+        assert np.hypot(*diffs) == pytest.approx(2.0)
+
+    def test_deterministic(self):
+        a = grid_deployment(3, 1.0)
+        b = grid_deployment(3, 1.0)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_single_point(self):
+        assert grid_deployment(1, 1.0).n == 1
+
+
+class TestPerturbedGrid:
+    def test_zero_jitter_equals_grid(self):
+        base = grid_deployment(4, 1.5)
+        jittered = perturbed_grid_deployment(4, 1.5, jitter=0.0, seed=3)
+        np.testing.assert_allclose(jittered.positions, base.positions)
+
+    def test_jitter_bounded(self):
+        base = grid_deployment(5, 2.0)
+        jittered = perturbed_grid_deployment(5, 2.0, jitter=0.3, seed=3)
+        assert np.abs(jittered.positions - base.positions).max() <= 0.3
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perturbed_grid_deployment(3, 1.0, jitter=-0.1, seed=0)
+
+
+class TestClustered:
+    def test_count(self):
+        dep = clustered_deployment(5, 8, extent=10.0, cluster_radius=0.5, seed=0)
+        assert dep.n == 40
+
+    def test_clusters_are_dense(self):
+        dep = clustered_deployment(3, 20, extent=50.0, cluster_radius=0.4, seed=1)
+        # members of the first cluster sit close to their centroid
+        first = dep.positions[:20]
+        centroid = first.mean(axis=0)
+        spread = np.hypot(*(first - centroid).T)
+        assert np.median(spread) < 1.0
+
+    def test_metadata(self):
+        dep = clustered_deployment(2, 3, extent=5.0, cluster_radius=0.5, seed=0)
+        assert dep.metadata["clusters"] == 2
+        assert dep.metadata["points_per_cluster"] == 3

@@ -1,0 +1,108 @@
+"""Unit tests for distance computations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import (
+    as_positions,
+    chebyshev_distance,
+    distance,
+    distance_matrix,
+    pairwise_distances,
+)
+
+
+class TestAsPositions:
+    def test_accepts_list_of_pairs(self):
+        array = as_positions([[0, 0], [1, 2]])
+        assert array.shape == (2, 2)
+        assert array.dtype == np.float64
+
+    def test_empty_input_gives_zero_rows(self):
+        assert as_positions([]).shape == (0, 2)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ConfigurationError):
+            as_positions([[1, 2, 3]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            as_positions([[np.nan, 0.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            as_positions([[np.inf, 0.0]])
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ConfigurationError):
+            as_positions(3.0)
+
+
+class TestDistance:
+    def test_pythagorean_triple(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero_distance(self):
+        assert distance((2.5, -1), (2.5, -1)) == 0.0
+
+    def test_symmetry(self):
+        p, q = (1.2, 3.4), (-0.7, 9.1)
+        assert distance(p, q) == pytest.approx(distance(q, p))
+
+    def test_accepts_numpy_points(self):
+        p = np.array([1.0, 1.0])
+        q = np.array([4.0, 5.0])
+        assert distance(p, q) == pytest.approx(5.0)
+
+
+class TestChebyshev:
+    def test_dominant_axis(self):
+        assert chebyshev_distance((0, 0), (3, 1)) == pytest.approx(3.0)
+
+    def test_is_lower_bound_of_euclidean(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p, q = rng.uniform(-5, 5, size=(2, 2))
+            assert chebyshev_distance(p, q) <= distance(p, q) + 1e-12
+
+
+class TestDistanceMatrix:
+    def test_shape(self):
+        a = np.zeros((3, 2))
+        b = np.ones((4, 2))
+        assert distance_matrix(a, b).shape == (3, 4)
+
+    def test_values(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0], [0.0, 1.0]])
+        matrix = distance_matrix(a, b)
+        assert matrix[0, 0] == pytest.approx(5.0)
+        assert matrix[0, 1] == pytest.approx(1.0)
+
+    def test_matches_scalar_distance(self):
+        rng = np.random.default_rng(7)
+        a = rng.uniform(0, 10, size=(5, 2))
+        b = rng.uniform(0, 10, size=(6, 2))
+        matrix = distance_matrix(a, b)
+        for i in range(5):
+            for j in range(6):
+                assert matrix[i, j] == pytest.approx(distance(a[i], b[j]))
+
+
+class TestPairwiseDistances:
+    def test_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 4, size=(8, 2))
+        matrix = pairwise_distances(points)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 4, size=(6, 2))
+        matrix = pairwise_distances(points)
+        for i in range(6):
+            for j in range(6):
+                for k in range(6):
+                    assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-9

@@ -1,0 +1,85 @@
+"""Unit tests for discs and annuli."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.region import Annulus, Disc
+
+
+class TestDisc:
+    def test_area(self):
+        assert Disc(0, 0, 2.0).area == pytest.approx(4 * math.pi)
+
+    def test_contains_boundary(self):
+        disc = Disc(0, 0, 1.0)
+        assert disc.contains((1.0, 0.0))  # closed disc
+
+    def test_contains_interior_and_exterior(self):
+        disc = Disc(1, 1, 1.0)
+        assert disc.contains((1.5, 1.0))
+        assert not disc.contains((2.5, 1.0))
+
+    def test_contains_many_matches_scalar(self):
+        disc = Disc(0.5, -0.5, 1.3)
+        rng = np.random.default_rng(2)
+        points = rng.uniform(-2, 2, size=(40, 2))
+        mask = disc.contains_many(points)
+        for point, inside in zip(points, mask):
+            assert inside == disc.contains(point)
+
+    def test_center_array(self):
+        np.testing.assert_allclose(Disc(3, 4, 1).center, [3.0, 4.0])
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ConfigurationError):
+            Disc(0, 0, -1.0)
+
+    def test_zero_radius_contains_only_center(self):
+        disc = Disc(2, 2, 0.0)
+        assert disc.contains((2, 2))
+        assert not disc.contains((2, 2.001))
+
+
+class TestAnnulus:
+    def test_area(self):
+        ring = Annulus(0, 0, 1.0, 2.0)
+        assert ring.area == pytest.approx(math.pi * 3.0)
+
+    def test_contains(self):
+        ring = Annulus(0, 0, 1.0, 2.0)
+        assert ring.contains((1.5, 0))
+        assert ring.contains((1.0, 0))  # closed on both boundaries
+        assert ring.contains((2.0, 0))
+        assert not ring.contains((0.5, 0))
+        assert not ring.contains((2.5, 0))
+
+    def test_contains_many_matches_scalar(self):
+        ring = Annulus(1, 1, 0.5, 1.5)
+        rng = np.random.default_rng(4)
+        points = rng.uniform(-1, 3, size=(40, 2))
+        mask = ring.contains_many(points)
+        for point, inside in zip(points, mask):
+            assert inside == ring.contains(point)
+
+    def test_expanded_matches_paper_extension(self):
+        # R_l^+ of Lemma 3: grow both sides by R_T / 2.
+        ring = Annulus(0, 0, 3.0, 4.0)
+        extended = ring.expanded(0.5)
+        assert extended.inner == pytest.approx(2.5)
+        assert extended.outer == pytest.approx(4.5)
+
+    def test_expanded_clamps_inner_at_zero(self):
+        ring = Annulus(0, 0, 0.2, 1.0)
+        assert ring.expanded(0.5).inner == 0.0
+
+    def test_rejects_inverted_radii(self):
+        with pytest.raises(ConfigurationError):
+            Annulus(0, 0, 2.0, 1.0)
+
+    def test_degenerate_ring_is_circle(self):
+        ring = Annulus(0, 0, 1.0, 1.0)
+        assert ring.area == pytest.approx(0.0)
+        assert ring.contains((1, 0))

@@ -1,0 +1,85 @@
+"""Unit tests for BFS utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.deployment import uniform_deployment
+from repro.graphs.bfs import bfs_distances, bfs_tree, diameter, eccentricity
+from repro.graphs.udg import UnitDiskGraph
+
+
+def path_graph(n=5, spacing=0.9):
+    positions = np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+    return UnitDiskGraph(positions, radius=1.0)
+
+
+class TestBfsDistances:
+    def test_path_distances(self):
+        graph = path_graph(5)
+        np.testing.assert_array_equal(bfs_distances(graph, 0), [0, 1, 2, 3, 4])
+        np.testing.assert_array_equal(bfs_distances(graph, 2), [2, 1, 0, 1, 2])
+
+    def test_unreachable_marked(self):
+        positions = np.array([[0.0, 0.0], [10.0, 10.0]])
+        graph = UnitDiskGraph(positions, radius=1.0)
+        np.testing.assert_array_equal(bfs_distances(graph, 0), [0, -1])
+
+    def test_source_validated(self):
+        with pytest.raises(ConfigurationError):
+            bfs_distances(path_graph(3), 99)
+
+    def test_symmetric(self):
+        dep = uniform_deployment(60, 5.0, seed=4)
+        graph = UnitDiskGraph(dep.positions, radius=1.0)
+        d_ab = bfs_distances(graph, 3)[17]
+        d_ba = bfs_distances(graph, 17)[3]
+        assert d_ab == d_ba
+
+
+class TestBfsTree:
+    def test_parents_decrease_depth(self):
+        dep = uniform_deployment(60, 5.0, seed=4)
+        graph = UnitDiskGraph(dep.positions, radius=1.0)
+        dist = bfs_distances(graph, 0)
+        parent = bfs_tree(graph, 0)
+        for node in range(graph.n):
+            if dist[node] <= 0:
+                continue
+            assert dist[parent[node]] == dist[node] - 1
+            assert graph.has_edge(node, int(parent[node]))
+
+    def test_root_self_parent(self):
+        assert bfs_tree(path_graph(3), 1)[1] == 1
+
+    def test_unreachable_no_parent(self):
+        positions = np.array([[0.0, 0.0], [10.0, 10.0]])
+        graph = UnitDiskGraph(positions, radius=1.0)
+        assert bfs_tree(graph, 0)[1] == -1
+
+    def test_canonical_smallest_parent(self):
+        # diamond: node 3 reachable at depth 2 via 1 or 2; parent must be 1
+        positions = np.array(
+            [[0.0, 0.0], [1.0, 0.4], [1.0, -0.4], [2.0, 0.0]]
+        )
+        graph = UnitDiskGraph(positions, radius=1.2)
+        assert bfs_tree(graph, 0)[3] == 1
+
+
+class TestEccentricityDiameter:
+    def test_path(self):
+        graph = path_graph(6)
+        assert eccentricity(graph, 0) == 5
+        assert eccentricity(graph, 3) == 3
+        assert diameter(graph) == 5
+
+    def test_clique(self):
+        positions = np.array([[0, 0], [0.1, 0], [0, 0.1]], dtype=float)
+        graph = UnitDiskGraph(positions, radius=1.0)
+        assert diameter(graph) == 1
+
+    def test_diameter_upper_bounds_eccentricities(self):
+        dep = uniform_deployment(40, 4.0, seed=5)
+        graph = UnitDiskGraph(dep.positions, radius=1.0)
+        d = diameter(graph)
+        assert all(eccentricity(graph, v) <= d for v in range(graph.n))

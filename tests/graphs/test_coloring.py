@@ -1,0 +1,104 @@
+"""Unit tests for the Coloring value type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColoringError
+from repro.graphs.coloring import Coloring
+
+
+@pytest.fixture()
+def square_positions():
+    """Unit square corners; radius 1 connects the sides, not the diagonal."""
+    return np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+
+
+class TestConstruction:
+    def test_basic(self):
+        coloring = Coloring(np.array([0, 1, 2]))
+        assert coloring.n == 3
+        assert coloring.num_colors == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ColoringError):
+            Coloring(np.array([0, -1]))
+
+    def test_rejects_floats(self):
+        with pytest.raises(ColoringError):
+            Coloring(np.array([0.5, 1.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ColoringError):
+            Coloring(np.zeros((2, 2), dtype=np.int64))
+
+    def test_colors_frozen(self):
+        coloring = Coloring(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            coloring.colors[0] = 5
+
+    def test_max_color_sparse_palette(self):
+        coloring = Coloring(np.array([0, 40, 7]))
+        assert coloring.max_color == 40
+        assert coloring.num_colors == 3
+
+    def test_empty_max_color_raises(self):
+        with pytest.raises(ColoringError):
+            Coloring(np.array([], dtype=np.int64)).max_color
+
+
+class TestClasses:
+    def test_color_classes(self):
+        coloring = Coloring(np.array([1, 0, 1, 2]))
+        classes = coloring.color_classes()
+        np.testing.assert_array_equal(classes[1], [0, 2])
+        np.testing.assert_array_equal(classes[0], [1])
+
+    def test_class_sizes(self):
+        coloring = Coloring(np.array([1, 0, 1, 2]))
+        assert coloring.class_sizes() == {1: 2, 0: 1, 2: 1}
+
+
+class TestValidity:
+    def test_proper_square_2coloring(self, square_positions):
+        # opposite corners share a color: proper at distance 1 (side = 1)?
+        # sides are length 1 <= radius -> adjacent; diagonal sqrt(2) -> not
+        coloring = Coloring(np.array([0, 1, 0, 1]))
+        assert coloring.is_valid(square_positions, radius=1.0, d=1.0)
+
+    def test_conflict_detected(self, square_positions):
+        coloring = Coloring(np.array([0, 0, 1, 1]))
+        conflicts = coloring.conflicts(square_positions, radius=1.0, d=1.0)
+        assert (0, 1) in conflicts
+
+    def test_distance_2_requires_more_colors(self, square_positions):
+        # at d = 2 the diagonal also conflicts
+        coloring = Coloring(np.array([0, 1, 0, 1]))
+        assert not coloring.is_valid(square_positions, radius=1.0, d=2.0)
+        rainbow = Coloring(np.array([0, 1, 2, 3]))
+        assert rainbow.is_valid(square_positions, radius=1.0, d=2.0)
+
+    def test_validate_raises_with_context(self, square_positions):
+        coloring = Coloring(np.array([0, 0, 1, 1]))
+        with pytest.raises(ColoringError, match="conflict"):
+            coloring.validate(square_positions, radius=1.0)
+
+    def test_size_mismatch(self, square_positions):
+        with pytest.raises(ColoringError):
+            Coloring(np.array([0, 1])).conflicts(square_positions, 1.0)
+
+
+class TestCompaction:
+    def test_compacted_dense_palette(self):
+        coloring = Coloring(np.array([5, 40, 5, 7]))
+        compact = coloring.compacted()
+        assert compact.max_color == 2
+        assert compact.num_colors == 3
+
+    def test_compaction_preserves_equality_pattern(self):
+        colors = np.array([5, 40, 5, 7, 40])
+        compact = Coloring(colors).compacted()
+        for i in range(5):
+            for j in range(5):
+                assert (colors[i] == colors[j]) == (
+                    compact.colors[i] == compact.colors[j]
+                )

@@ -1,0 +1,76 @@
+"""Unit tests for independence checks and greedy MIS."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.deployment import uniform_deployment
+from repro.graphs.independent import greedy_mis, is_independent_set, violating_pairs
+
+
+class TestViolatingPairs:
+    def test_finds_close_pair(self):
+        positions = np.array([[0.0, 0.0], [0.5, 0.0], [5.0, 5.0]])
+        assert violating_pairs(positions, [0, 1, 2], 1.0) == [(0, 1)]
+
+    def test_boundary_counts_as_violation(self):
+        # independence requires distance strictly greater than R_T
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert violating_pairs(positions, [0, 1], 1.0) == [(0, 1)]
+
+    def test_none_when_spread(self):
+        positions = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]])
+        assert violating_pairs(positions, [0, 1, 2], 1.0) == []
+
+    def test_subset_membership_only(self):
+        positions = np.array([[0.0, 0.0], [0.5, 0.0], [0.6, 0.0]])
+        # nodes 0 and 1 are close but only {0, 2} are members... 0-2 close too
+        assert violating_pairs(positions, [0], 1.0) == []
+        assert violating_pairs(positions, [1, 2], 1.0) == [(1, 2)]
+
+    def test_duplicated_members_deduplicated(self):
+        positions = np.array([[0.0, 0.0], [3.0, 0.0]])
+        assert violating_pairs(positions, [0, 0, 1], 1.0) == []
+
+    def test_radius_validation(self):
+        with pytest.raises(ConfigurationError):
+            violating_pairs(np.zeros((2, 2)), [0, 1], 0.0)
+
+
+class TestIsIndependentSet:
+    def test_empty_and_singleton(self):
+        positions = np.array([[0.0, 0.0], [0.1, 0.0]])
+        assert is_independent_set(positions, [], 1.0)
+        assert is_independent_set(positions, [0], 1.0)
+
+    def test_detects_violation(self):
+        positions = np.array([[0.0, 0.0], [0.1, 0.0]])
+        assert not is_independent_set(positions, [0, 1], 1.0)
+
+
+class TestGreedyMis:
+    def test_result_is_independent(self):
+        dep = uniform_deployment(120, 6.0, seed=8)
+        mis = greedy_mis(dep.positions, 1.0)
+        assert is_independent_set(dep.positions, mis, 1.0)
+
+    def test_result_is_maximal(self):
+        dep = uniform_deployment(120, 6.0, seed=8)
+        positions = dep.positions
+        mis = set(greedy_mis(positions, 1.0))
+        for node in range(len(positions)):
+            if node in mis:
+                continue
+            covered = any(
+                np.hypot(*(positions[node] - positions[m])) <= 1.0 for m in mis
+            )
+            assert covered, f"node {node} neither chosen nor covered"
+
+    def test_respects_order(self):
+        positions = np.array([[0.0, 0.0], [0.5, 0.0]])
+        assert greedy_mis(positions, 1.0, order=[1, 0]) == [1]
+        assert greedy_mis(positions, 1.0, order=[0, 1]) == [0]
+
+    def test_all_isolated_nodes_chosen(self):
+        positions = np.array([[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]])
+        assert greedy_mis(positions, 1.0) == [0, 1, 2]

@@ -1,0 +1,49 @@
+"""Unit tests for geometric graph powers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.deployment import uniform_deployment
+from repro.graphs.power import power_graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+class TestPowerGraph:
+    def test_radius_scales(self):
+        graph = UnitDiskGraph(np.zeros((1, 2)), radius=1.0)
+        assert power_graph(graph, 2.5).radius == pytest.approx(2.5)
+
+    def test_edges_grow_with_d(self):
+        dep = uniform_deployment(60, 6.0, seed=1)
+        graph = UnitDiskGraph(dep.positions, radius=1.0)
+        g2 = power_graph(graph, 2.0)
+        assert g2.edge_count >= graph.edge_count
+        # every original edge survives
+        for u, v in graph.edges():
+            assert g2.has_edge(u, v)
+
+    def test_d_one_is_identity_structure(self):
+        dep = uniform_deployment(40, 5.0, seed=2)
+        graph = UnitDiskGraph(dep.positions, radius=1.0)
+        g1 = power_graph(graph, 1.0)
+        assert sorted(g1.edges()) == sorted(graph.edges())
+
+    def test_fractional_d(self):
+        positions = np.array([[0.0, 0.0], [1.4, 0.0]])
+        graph = UnitDiskGraph(positions, radius=1.0)
+        assert not graph.has_edge(0, 1)
+        assert power_graph(graph, 1.5).has_edge(0, 1)
+
+    def test_degree_growth_bounded_by_paper(self):
+        # Delta_{G^d} <= (2d + 1)^2 * Delta (Section V), checked empirically
+        dep = uniform_deployment(150, 8.0, seed=3)
+        graph = UnitDiskGraph(dep.positions, radius=1.0)
+        d = 2.0
+        gd = power_graph(graph, d)
+        assert gd.max_degree <= (2 * d + 1) ** 2 * max(1, graph.max_degree)
+
+    def test_rejects_nonpositive_d(self):
+        graph = UnitDiskGraph(np.zeros((1, 2)), radius=1.0)
+        with pytest.raises(ConfigurationError):
+            power_graph(graph, 0.0)

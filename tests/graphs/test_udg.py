@@ -1,0 +1,92 @@
+"""Unit tests for unit disk graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.deployment import grid_deployment, uniform_deployment
+from repro.graphs.udg import UnitDiskGraph
+
+
+@pytest.fixture()
+def line_graph():
+    """Four collinear nodes spaced 0.8 apart: a path under radius 1."""
+    positions = np.array([[0.0, 0.0], [0.8, 0.0], [1.6, 0.0], [2.4, 0.0]])
+    return UnitDiskGraph(positions, radius=1.0)
+
+
+class TestAdjacency:
+    def test_path_structure(self, line_graph):
+        np.testing.assert_array_equal(line_graph.neighbors(0), [1])
+        np.testing.assert_array_equal(line_graph.neighbors(1), [0, 2])
+        np.testing.assert_array_equal(line_graph.neighbors(3), [2])
+
+    def test_has_edge(self, line_graph):
+        assert line_graph.has_edge(0, 1)
+        assert line_graph.has_edge(1, 0)
+        assert not line_graph.has_edge(0, 2)
+        assert not line_graph.has_edge(0, 0)
+
+    def test_edge_boundary_inclusive(self):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        graph = UnitDiskGraph(positions, radius=1.0)
+        assert graph.has_edge(0, 1)
+
+    def test_edges_listed_once(self, line_graph):
+        assert sorted(line_graph.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_edge_count(self, line_graph):
+        assert line_graph.edge_count == 3
+
+    def test_degrees(self, line_graph):
+        np.testing.assert_array_equal(line_graph.degrees, [1, 2, 2, 1])
+        assert line_graph.max_degree == 2
+
+    def test_matches_brute_force(self):
+        dep = uniform_deployment(80, 5.0, seed=2)
+        graph = UnitDiskGraph(dep.positions, radius=1.0)
+        positions = dep.positions
+        for u in range(graph.n):
+            diffs = positions - positions[u]
+            dist = np.hypot(diffs[:, 0], diffs[:, 1])
+            expected = np.flatnonzero((dist <= 1.0) & (np.arange(graph.n) != u))
+            np.testing.assert_array_equal(graph.neighbors(u), expected)
+
+    def test_node_index_validation(self, line_graph):
+        with pytest.raises(ConfigurationError):
+            line_graph.neighbors(99)
+        with pytest.raises(ConfigurationError):
+            line_graph.degree(-1)
+
+    def test_accepts_deployment(self):
+        dep = uniform_deployment(10, 5.0, seed=0)
+        graph = UnitDiskGraph(dep, radius=1.0)
+        assert graph.n == 10
+
+    def test_radius_validation(self):
+        with pytest.raises(ConfigurationError):
+            UnitDiskGraph(np.zeros((2, 2)), radius=0.0)
+
+
+class TestConnectivity:
+    def test_path_is_connected(self, line_graph):
+        assert line_graph.is_connected()
+        assert len(line_graph.connected_components()) == 1
+
+    def test_two_components(self):
+        positions = np.array([[0.0, 0.0], [0.5, 0.0], [10.0, 10.0]])
+        graph = UnitDiskGraph(positions, radius=1.0)
+        components = graph.connected_components()
+        assert len(components) == 2
+        np.testing.assert_array_equal(components[0], [0, 1])  # largest first
+        np.testing.assert_array_equal(components[1], [2])
+        assert not graph.is_connected()
+
+    def test_grid_connected(self):
+        dep = grid_deployment(side=5, spacing=0.9)
+        graph = UnitDiskGraph(dep.positions, radius=1.0)
+        assert graph.is_connected()
+
+    def test_nodes_within_larger_radius(self, line_graph):
+        found = line_graph.nodes_within(0, 2.0)
+        np.testing.assert_array_equal(found, [1, 2])

@@ -1,0 +1,61 @@
+"""Unit/integration tests for the slotted-ALOHA baseline."""
+
+import numpy as np
+import pytest
+
+from repro import PhysicalParams, uniform_deployment
+from repro.errors import ConfigurationError
+from repro.graphs.udg import UnitDiskGraph
+from repro.mac.aloha import run_slotted_aloha
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PhysicalParams().with_r_t(1.0)
+
+
+@pytest.fixture(scope="module")
+def graph(params):
+    dep = uniform_deployment(80, 6.0, seed=17)
+    return UnitDiskGraph(dep.positions, params.r_t)
+
+
+class TestAloha:
+    def test_completes_with_tuned_probability(self, graph, params):
+        report = run_slotted_aloha(
+            graph, params, probability=1.0 / graph.max_degree,
+            max_slots=30_000, seed=0,
+        )
+        assert report.completed
+        assert report.coverage == 1.0
+
+    def test_overaggressive_probability_stalls(self, graph, params):
+        # p = 0.9: persistent collisions keep dense pairs unserved
+        report = run_slotted_aloha(
+            graph, params, probability=0.9, max_slots=2_000, seed=0
+        )
+        assert not report.completed
+        assert report.coverage < 1.0
+
+    def test_deterministic_per_seed(self, graph, params):
+        a = run_slotted_aloha(graph, params, 0.05, max_slots=5_000, seed=3)
+        b = run_slotted_aloha(graph, params, 0.05, max_slots=5_000, seed=3)
+        assert a.slots_run == b.slots_run
+        assert a.served_pairs == b.served_pairs
+
+    def test_isolated_nodes_complete_immediately(self, params):
+        positions = np.array([[0.0, 0.0], [50.0, 50.0]])
+        graph = UnitDiskGraph(positions, params.r_t)
+        report = run_slotted_aloha(graph, params, 0.5, max_slots=10, seed=0)
+        assert report.completed
+        assert report.total_pairs == 0
+        assert report.coverage == 1.0
+
+    def test_zero_probability_never_delivers(self, graph, params):
+        report = run_slotted_aloha(graph, params, 0.0, max_slots=100, seed=0)
+        assert not report.completed
+        assert report.served_pairs == 0
+
+    def test_probability_validated(self, graph, params):
+        with pytest.raises(ConfigurationError):
+            run_slotted_aloha(graph, params, 1.5, max_slots=10, seed=0)

@@ -1,0 +1,52 @@
+"""Integration tests for the one-call MAC pipeline."""
+
+import pytest
+
+from repro import PhysicalParams, uniform_deployment
+from repro.errors import ScheduleError
+from repro.mac.pipeline import build_mac_layer
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PhysicalParams().with_r_t(1.0)
+
+
+@pytest.fixture(scope="module")
+def layer(params):
+    deployment = uniform_deployment(40, 8.0, seed=21)
+    return build_mac_layer(deployment, params, seed=4)
+
+
+class TestBuildMacLayer:
+    def test_interference_free(self, layer):
+        assert layer.interference_free
+        assert layer.audit.success_rate == 1.0
+
+    def test_coloring_valid_at_mac_distance(self, layer, params):
+        d = params.mac_distance
+        assert layer.coloring.is_valid(
+            layer.graph.positions, params.r_t, d=d + 1
+        )
+
+    def test_palette_compacted(self, layer):
+        assert layer.coloring.max_color == layer.coloring.num_colors - 1
+
+    def test_frame_matches_palette(self, layer):
+        assert layer.frame_length == layer.coloring.num_colors
+
+    def test_underlying_run_exposed(self, layer):
+        assert layer.coloring_run.stats.completed
+        assert layer.coloring_run.graph.radius > layer.graph.radius
+
+    def test_budget_exhaustion_raises(self, params):
+        deployment = uniform_deployment(40, 8.0, seed=21)
+        with pytest.raises(ScheduleError):
+            build_mac_layer(deployment, params, seed=4, max_slots=10)
+
+    def test_require_clean_false_returns_partial(self, params):
+        deployment = uniform_deployment(40, 8.0, seed=21)
+        layer = build_mac_layer(
+            deployment, params, seed=4, require_clean=False, max_slots=10
+        )
+        assert not layer.coloring_run.stats.completed

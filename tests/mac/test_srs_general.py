@@ -1,0 +1,108 @@
+"""Integration tests for general-model single-round simulation (Cor. 1)."""
+
+import pytest
+
+from repro import (
+    PairwiseTokenExchange,
+    PhysicalParams,
+    TDMASchedule,
+    UnitDiskGraph,
+    greedy_coloring,
+    power_graph,
+    simulate_general_algorithm,
+    uniform_deployment,
+)
+from repro.errors import ConfigurationError, ScheduleError
+from repro.messaging.model import run_general_rounds
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PhysicalParams().with_r_t(1.0)
+
+
+@pytest.fixture(scope="module")
+def world(params):
+    dep = uniform_deployment(80, 6.0, seed=33)
+    graph = UnitDiskGraph(dep.positions, params.r_t)
+    coloring = greedy_coloring(power_graph(graph, params.mac_distance + 1))
+    return graph, TDMASchedule(coloring)
+
+
+def run_both(graph, schedule, params, strategy):
+    simulated = [PairwiseTokenExchange() for _ in range(graph.n)]
+    report = simulate_general_algorithm(
+        graph, simulated, schedule, params, max_rounds=5, strategy=strategy
+    )
+    native = [PairwiseTokenExchange() for _ in range(graph.n)]
+    run_general_rounds(graph, native, max_rounds=5)
+    return report, [a.output() for a in native]
+
+
+class TestPackedStrategy:
+    def test_lossless_and_equal(self, world, params):
+        graph, schedule = world
+        report, native_outputs = run_both(graph, schedule, params, "packed")
+        assert report.exact
+        assert report.halted
+        assert list(report.outputs) == native_outputs
+
+    def test_one_frame_per_round(self, world, params):
+        graph, schedule = world
+        report, _ = run_both(graph, schedule, params, "packed")
+        assert report.slots == report.rounds * schedule.frame_length
+
+
+class TestSerialStrategy:
+    def test_lossless_and_equal(self, world, params):
+        graph, schedule = world
+        report, native_outputs = run_both(graph, schedule, params, "serial")
+        assert report.exact
+        assert list(report.outputs) == native_outputs
+
+    def test_costs_delta_subframes(self, world, params):
+        # Corollary 1's small-message trade-off: ~Delta frames per round
+        graph, schedule = world
+        packed, _ = run_both(graph, schedule, params, "packed")
+        serial, _ = run_both(graph, schedule, params, "serial")
+        assert serial.slots > packed.slots
+        # subframes per round bounded by the max out-degree
+        assert serial.slots <= packed.slots * graph.max_degree
+
+    def test_every_token_echoed(self, world, params):
+        graph, schedule = world
+        report, _ = run_both(graph, schedule, params, "serial")
+        for node, output in enumerate(report.outputs):
+            expected = sorted(
+                ("token", node, int(v)) for v in graph.neighbors(node)
+            )
+            assert output == expected
+
+
+class TestValidation:
+    def test_unknown_strategy(self, world, params):
+        graph, schedule = world
+        algos = [PairwiseTokenExchange() for _ in range(graph.n)]
+        with pytest.raises(ConfigurationError):
+            simulate_general_algorithm(
+                graph, algos, schedule, params, 5, strategy="telepathy"
+            )
+
+    def test_instance_count(self, world, params):
+        graph, schedule = world
+        with pytest.raises(ScheduleError):
+            simulate_general_algorithm(
+                graph, [PairwiseTokenExchange()], schedule, params, 5
+            )
+
+    def test_addressing_non_neighbor_rejected(self, world, params):
+        graph, schedule = world
+
+        class Bad(PairwiseTokenExchange):
+            def send_to(self, round_index):
+                self._rounds_done = 2
+                return {self._ctx.node: "self"}
+
+        algos = [Bad() for _ in range(graph.n)]
+        with pytest.raises(ScheduleError):
+            simulate_general_algorithm(graph, algos, schedule, params, 2)

@@ -1,0 +1,59 @@
+"""Unit tests for TDMA schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graphs.coloring import Coloring
+from repro.mac.tdma import TDMASchedule
+
+
+@pytest.fixture()
+def schedule():
+    return TDMASchedule(Coloring(np.array([0, 5, 0, 2])))
+
+
+class TestTDMASchedule:
+    def test_frame_length_is_color_count(self, schedule):
+        assert schedule.frame_length == 3
+
+    def test_slots_follow_color_order(self, schedule):
+        assert schedule.slot_of(0) == 0  # color 0
+        assert schedule.slot_of(3) == 1  # color 2
+        assert schedule.slot_of(1) == 2  # color 5
+
+    def test_color_of_slot(self, schedule):
+        assert schedule.color_of_slot(0) == 0
+        assert schedule.color_of_slot(1) == 2
+        assert schedule.color_of_slot(2) == 5
+
+    def test_nodes_in_slot(self, schedule):
+        np.testing.assert_array_equal(schedule.nodes_in_slot(0), [0, 2])
+        np.testing.assert_array_equal(schedule.nodes_in_slot(2), [1])
+
+    def test_every_node_scheduled_once_per_frame(self, schedule):
+        seen = []
+        for slot in range(schedule.frame_length):
+            seen.extend(int(v) for v in schedule.nodes_in_slot(slot))
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_global_slot(self, schedule):
+        assert schedule.global_slot(0, 1) == 1
+        assert schedule.global_slot(2, 1) == 7
+
+    def test_global_slot_validation(self, schedule):
+        with pytest.raises(ScheduleError):
+            schedule.global_slot(0, 99)
+        with pytest.raises(ScheduleError):
+            schedule.global_slot(-1, 0)
+
+    def test_slot_out_of_range(self, schedule):
+        with pytest.raises(ScheduleError):
+            schedule.color_of_slot(3)
+
+    def test_empty_coloring_rejected(self):
+        with pytest.raises(ScheduleError):
+            TDMASchedule(Coloring(np.array([], dtype=np.int64)))
+
+    def test_n(self, schedule):
+        assert schedule.n == 4

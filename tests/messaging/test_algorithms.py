@@ -1,0 +1,101 @@
+"""Unit tests for the example message-passing algorithms."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.geometry.deployment import uniform_deployment
+from repro.graphs.udg import UnitDiskGraph
+from repro.messaging.algorithms import (
+    BFSTreeAlgorithm,
+    FloodingBroadcast,
+    MaxIdLeaderElection,
+)
+from repro.messaging.model import run_uniform_rounds
+
+
+@pytest.fixture(scope="module")
+def graph():
+    dep = uniform_deployment(70, 5.0, seed=31)
+    return UnitDiskGraph(dep.positions, radius=1.0)
+
+
+def bfs_distances(graph, root):
+    dist = {root: 0}
+    queue = collections.deque([root])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            v = int(v)
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+class TestFlooding:
+    def test_everyone_in_component_receives(self, graph):
+        algos = [FloodingBroadcast(source=0, value="fire") for _ in range(graph.n)]
+        run_uniform_rounds(graph, algos, max_rounds=graph.n)
+        dist = bfs_distances(graph, 0)
+        for node in range(graph.n):
+            if node in dist:
+                assert algos[node].output() == ("fire", dist[node])
+            else:
+                assert algos[node].output() is None
+
+    def test_hop_counts_are_bfs_distances(self, graph):
+        algos = [FloodingBroadcast(source=3) for _ in range(graph.n)]
+        run_uniform_rounds(graph, algos, max_rounds=graph.n)
+        dist = bfs_distances(graph, 3)
+        for node, expected in dist.items():
+            assert algos[node].output()[1] == expected
+
+    def test_rounds_equal_eccentricity_plus_one(self, graph):
+        algos = [FloodingBroadcast(source=0) for _ in range(graph.n)]
+        report = run_uniform_rounds(graph, algos, max_rounds=graph.n)
+        dist = bfs_distances(graph, 0)
+        if len(dist) == graph.n:  # connected: everything halts
+            assert report.halted
+            assert report.rounds == max(dist.values()) + 1
+
+
+class TestBFSTree:
+    def test_parents_form_shortest_path_tree(self, graph):
+        algos = [BFSTreeAlgorithm(root=0) for _ in range(graph.n)]
+        run_uniform_rounds(graph, algos, max_rounds=graph.n)
+        dist = bfs_distances(graph, 0)
+        assert algos[0].output() == (-1, 0)
+        for node in range(1, graph.n):
+            if node not in dist:
+                assert algos[node].output() is None
+                continue
+            parent, depth = algos[node].output()
+            assert depth == dist[node]
+            assert graph.has_edge(node, int(parent))
+            assert dist[int(parent)] == depth - 1
+
+
+class TestLeaderElection:
+    def test_agreement(self, graph):
+        rounds = 30
+        algos = [MaxIdLeaderElection(rounds=rounds) for _ in range(graph.n)]
+        report = run_uniform_rounds(graph, algos, max_rounds=rounds + 1)
+        assert report.halted
+        for component in graph.connected_components():
+            expected = int(component.max())
+            for node in component:
+                assert algos[int(node)].output() == expected
+
+    def test_too_few_rounds_no_agreement_on_path(self):
+        # a long path needs ~n rounds; 1 round only reaches direct neighbors
+        positions = np.column_stack([np.arange(10) * 0.9, np.zeros(10)])
+        graph = UnitDiskGraph(positions, radius=1.0)
+        algos = [MaxIdLeaderElection(rounds=1) for _ in range(10)]
+        run_uniform_rounds(graph, algos, max_rounds=2)
+        assert algos[0].output() != 9
+
+    def test_requires_positive_rounds(self):
+        with pytest.raises(Exception):
+            MaxIdLeaderElection(rounds=0)

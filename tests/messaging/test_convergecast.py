@@ -1,0 +1,75 @@
+"""Tests for the convergecast aggregation workload."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConvergecastSum,
+    PhysicalParams,
+    TDMASchedule,
+    UnitDiskGraph,
+    greedy_coloring,
+    power_graph,
+    simulate_uniform_algorithm,
+    uniform_deployment,
+)
+from repro.messaging.model import run_uniform_rounds
+
+
+@pytest.fixture(scope="module")
+def graph():
+    dep = uniform_deployment(100, 6.0, seed=24)  # connected
+    g = UnitDiskGraph(dep.positions, radius=1.0)
+    assert g.is_connected()
+    return g
+
+
+class TestNative:
+    def test_root_sums_component(self, graph):
+        algos = [ConvergecastSum(root=0, value=1.0, horizon=15) for _ in range(graph.n)]
+        report = run_uniform_rounds(graph, algos, max_rounds=80)
+        assert report.halted
+        assert algos[0].output() == pytest.approx(float(graph.n))
+
+    def test_weighted_values(self, graph):
+        algos = [
+            ConvergecastSum(root=0, value=float(i), horizon=15)
+            for i in range(graph.n)
+        ]
+        run_uniform_rounds(graph, algos, max_rounds=80)
+        expected = sum(range(graph.n))
+        assert algos[0].output() == pytest.approx(float(expected))
+
+    def test_subtree_sums_partition(self, graph):
+        algos = [ConvergecastSum(root=0, value=1.0, horizon=15) for _ in range(graph.n)]
+        run_uniform_rounds(graph, algos, max_rounds=80)
+        # the root's children's subtree sums + 1 equal the total
+        root = algos[0]
+        child_total = sum(root._child_sums.values())
+        assert child_total + 1.0 == pytest.approx(root.output())
+
+    def test_path_graph(self):
+        positions = np.column_stack([np.arange(6) * 0.9, np.zeros(6)])
+        graph = UnitDiskGraph(positions, radius=1.0)
+        algos = [ConvergecastSum(root=0, value=2.0, horizon=8) for _ in range(6)]
+        report = run_uniform_rounds(graph, algos, max_rounds=40)
+        assert report.halted
+        assert algos[0].output() == pytest.approx(12.0)
+
+    def test_horizon_validated(self):
+        with pytest.raises(Exception):
+            ConvergecastSum(root=0, horizon=0)
+
+
+class TestUnderSINR:
+    def test_srs_sums_exactly(self, graph):
+        params = PhysicalParams().with_r_t(1.0)
+        coloring = greedy_coloring(power_graph(graph, params.mac_distance + 1))
+        schedule = TDMASchedule(coloring)
+        algos = [ConvergecastSum(root=0, value=1.0, horizon=15) for _ in range(graph.n)]
+        report = simulate_uniform_algorithm(
+            graph, algos, schedule, params, max_rounds=80
+        )
+        assert report.exact
+        assert report.halted
+        assert report.outputs[0] == pytest.approx(float(graph.n))

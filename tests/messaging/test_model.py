@@ -1,0 +1,139 @@
+"""Unit tests for the round-based message passing engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs.udg import UnitDiskGraph
+from repro.messaging.model import (
+    GeneralAlgorithm,
+    UniformAlgorithm,
+    run_general_rounds,
+    run_uniform_rounds,
+)
+
+
+def path_graph(n=4, spacing=0.8):
+    positions = np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+    return UnitDiskGraph(positions, radius=1.0)
+
+
+class Echo(UniformAlgorithm):
+    """Broadcasts its id in round 0; records everything; halts after round 1."""
+
+    def __init__(self):
+        self.ctx = None
+        self.heard = []
+        self.rounds = 0
+
+    def on_start(self, ctx):
+        self.ctx = ctx
+
+    def send(self, round_index):
+        self.rounds = round_index + 1
+        return self.ctx.node if round_index == 0 else None
+
+    def on_receive(self, round_index, sender, payload):
+        self.heard.append((round_index, sender, payload))
+
+    @property
+    def halted(self):
+        return self.rounds >= 2
+
+    def output(self):
+        return sorted(self.heard)
+
+
+class Pairwise(GeneralAlgorithm):
+    """Sends each neighbor its (my_id, their_id) pair in round 0."""
+
+    def __init__(self):
+        self.ctx = None
+        self.heard = []
+        self.done = False
+
+    def on_start(self, ctx):
+        self.ctx = ctx
+
+    def send_to(self, round_index):
+        self.done = True
+        if round_index > 0:
+            return {}
+        return {v: (self.ctx.node, v) for v in self.ctx.neighbors}
+
+    def on_receive(self, round_index, sender, payload):
+        self.heard.append(payload)
+
+    @property
+    def halted(self):
+        return self.done
+
+
+class TestUniform:
+    def test_neighbors_hear_broadcast(self):
+        graph = path_graph(3)
+        algos = [Echo() for _ in range(3)]
+        report = run_uniform_rounds(graph, algos, max_rounds=10)
+        assert report.halted
+        assert algos[1].heard == [(0, 0, 0), (0, 2, 2)]
+        assert algos[0].heard == [(0, 1, 1)]
+
+    def test_stops_at_halt(self):
+        graph = path_graph(3)
+        algos = [Echo() for _ in range(3)]
+        report = run_uniform_rounds(graph, algos, max_rounds=50)
+        assert report.rounds == 2
+
+    def test_counts_messages(self):
+        graph = path_graph(3)  # edges: 0-1, 1-2
+        algos = [Echo() for _ in range(3)]
+        report = run_uniform_rounds(graph, algos, max_rounds=10)
+        assert report.messages_sent == 4  # each broadcast fans to neighbors
+
+    def test_max_rounds_cap(self):
+        class Never(Echo):
+            @property
+            def halted(self):
+                return False
+
+        graph = path_graph(2)
+        report = run_uniform_rounds(graph, [Never(), Never()], max_rounds=5)
+        assert report.rounds == 5
+        assert not report.halted
+
+    def test_instance_count_validated(self):
+        graph = path_graph(3)
+        with pytest.raises(SimulationError):
+            run_uniform_rounds(graph, [Echo()], max_rounds=1)
+
+    def test_on_start_receives_context(self):
+        graph = path_graph(3)
+        algos = [Echo() for _ in range(3)]
+        run_uniform_rounds(graph, algos, max_rounds=1)
+        assert algos[1].ctx.neighbors == (0, 2)
+        assert algos[1].ctx.n == 3
+
+
+class TestGeneral:
+    def test_individual_payloads(self):
+        graph = path_graph(3)
+        algos = [Pairwise() for _ in range(3)]
+        report = run_general_rounds(graph, algos, max_rounds=5)
+        assert report.halted
+        assert sorted(algos[1].heard) == [(0, 1), (2, 1)]
+
+    def test_addressing_non_neighbor_rejected(self):
+        class Bad(Pairwise):
+            def send_to(self, round_index):
+                self.done = True
+                return {self.ctx.node: "self"}  # never a neighbor
+
+        graph = path_graph(2)
+        with pytest.raises(SimulationError):
+            run_general_rounds(graph, [Bad(), Bad()], max_rounds=2)
+
+    def test_message_count(self):
+        graph = path_graph(3)
+        algos = [Pairwise() for _ in range(3)]
+        report = run_general_rounds(graph, algos, max_rounds=5)
+        assert report.messages_sent == 4

@@ -1,0 +1,128 @@
+"""Property-based tests for channel semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sinr.channel import (
+    CollisionFreeChannel,
+    GraphChannel,
+    SINRChannel,
+    Transmission,
+)
+from repro.sinr.params import PhysicalParams
+
+PARAMS = PhysicalParams().with_r_t(1.0)
+
+coordinate = st.floats(
+    min_value=0.0, max_value=12.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def scenario(draw):
+    """Random positions plus a random subset of transmitters."""
+    n = draw(st.integers(2, 25))
+    points = draw(
+        st.lists(st.tuples(coordinate, coordinate), min_size=n, max_size=n)
+    )
+    senders = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=n))
+    return np.asarray(points, dtype=np.float64), sorted(senders)
+
+
+def resolve(channel, senders):
+    return channel.resolve([Transmission(s, f"m{s}") for s in senders])
+
+
+class TestUniversalChannelProperties:
+    @given(scenario())
+    @settings(max_examples=50)
+    def test_at_most_one_delivery_per_receiver(self, data):
+        positions, senders = data
+        for channel in (
+            SINRChannel(positions, PARAMS),
+            GraphChannel(positions, PARAMS.r_t),
+            CollisionFreeChannel(positions, PARAMS.r_t),
+        ):
+            deliveries = resolve(channel, senders)
+            receivers = [d.receiver for d in deliveries]
+            assert len(receivers) == len(set(receivers))
+
+    @given(scenario())
+    @settings(max_examples=50)
+    def test_half_duplex_senders_never_receive(self, data):
+        positions, senders = data
+        sender_set = set(senders)
+        for channel in (
+            SINRChannel(positions, PARAMS),
+            GraphChannel(positions, PARAMS.r_t),
+            CollisionFreeChannel(positions, PARAMS.r_t),
+        ):
+            for delivery in resolve(channel, senders):
+                assert delivery.receiver not in sender_set
+
+    @given(scenario())
+    @settings(max_examples=50)
+    def test_delivery_only_within_reach(self, data):
+        positions, senders = data
+        for channel in (
+            SINRChannel(positions, PARAMS),
+            GraphChannel(positions, PARAMS.r_t),
+            CollisionFreeChannel(positions, PARAMS.r_t),
+        ):
+            for delivery in resolve(channel, senders):
+                gap = np.hypot(
+                    *(positions[delivery.sender] - positions[delivery.receiver])
+                )
+                assert gap <= channel.reach + 1e-9
+
+    @given(scenario())
+    @settings(max_examples=50)
+    def test_payload_matches_sender(self, data):
+        positions, senders = data
+        channel = SINRChannel(positions, PARAMS)
+        for delivery in resolve(channel, senders):
+            assert delivery.payload == f"m{delivery.sender}"
+
+
+class TestSINRSpecificProperties:
+    @given(scenario())
+    @settings(max_examples=50)
+    def test_sinr_deliveries_subset_of_collision_free(self, data):
+        # interference can only remove deliveries relative to the oracle
+        positions, senders = data
+        sinr = {
+            (d.receiver, d.sender)
+            for d in resolve(SINRChannel(positions, PARAMS), senders)
+        }
+        free_receivers = {
+            d.receiver
+            for d in resolve(CollisionFreeChannel(positions, PARAMS.r_t), senders)
+        }
+        assert {r for r, _ in sinr} <= free_receivers
+
+    @given(scenario())
+    @settings(max_examples=50)
+    def test_single_sender_matches_udg_semantics(self, data):
+        # with exactly one transmitter there is no interference: SINR and
+        # graph channels agree on the receiver set
+        positions, _ = data
+        senders = [0]
+        sinr = {d.receiver for d in resolve(SINRChannel(positions, PARAMS), senders)}
+        graph = {
+            d.receiver for d in resolve(GraphChannel(positions, PARAMS.r_t), senders)
+        }
+        assert sinr == graph
+
+    @given(scenario())
+    @settings(max_examples=50)
+    def test_delivered_sender_is_among_nearest(self, data):
+        positions, senders = data
+        channel = SINRChannel(positions, PARAMS)
+        for delivery in resolve(channel, senders):
+            gaps = {
+                s: np.hypot(*(positions[s] - positions[delivery.receiver]))
+                for s in senders
+            }
+            best = min(gaps.values())
+            assert gaps[delivery.sender] <= best + 1e-9

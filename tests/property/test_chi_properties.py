@@ -1,0 +1,46 @@
+"""Property-based tests for the chi restart value (Fig. 1 line 6)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.mw_node import chi
+
+counters_strategy = st.dictionaries(
+    keys=st.integers(0, 30),
+    values=st.integers(-500, 500),
+    max_size=15,
+)
+window_strategy = st.integers(0, 50)
+
+
+class TestChiProperties:
+    @given(counters_strategy, window_strategy)
+    def test_nonpositive(self, counters, window):
+        assert chi(counters, window) <= 0
+
+    @given(counters_strategy, window_strategy)
+    def test_outside_every_window(self, counters, window):
+        value = chi(counters, window)
+        for d in counters.values():
+            assert not (d - window <= value <= d + window)
+
+    @given(counters_strategy, window_strategy)
+    def test_maximal(self, counters, window):
+        value = chi(counters, window)
+        for candidate in range(value + 1, 1):
+            assert any(
+                d - window <= candidate <= d + window for d in counters.values()
+            ), f"{candidate} was free but chi returned {value}"
+
+    @given(counters_strategy, window_strategy)
+    @settings(max_examples=50)
+    def test_lemma5_depth_bound(self, counters, window):
+        # Lemma 5's argument: chi never descends below the total width of
+        # all forbidden windows.
+        value = chi(counters, window)
+        assert value >= -len(counters) * (2 * window + 1)
+
+    @given(counters_strategy)
+    def test_zero_window_blocks_single_values(self, counters):
+        value = chi(counters, 0)
+        assert value not in set(counters.values())

@@ -1,0 +1,185 @@
+"""Property-based tests on the MW node state machine.
+
+A single node is driven with randomly generated message sequences through
+a stub API; the structural invariants of Figures 1-3 must hold along every
+trajectory:
+
+* chi restarts are never positive and always land outside every tracked
+  window,
+* the counter never exceeds the threshold while the node is still in A
+  (the threshold timer fires exactly at the crossing),
+* state transitions follow the legal edges A->{A,R,C}, R->A, C terminal,
+* a decided node never changes color.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.constants import AlgorithmConstants
+from repro.coloring.messages import MsgA, MsgC, MsgR
+from repro.coloring.mw_node import (
+    MWColoringNode,
+    MWSharedConfig,
+    PHASE_COMPETE,
+    STATE_A,
+    STATE_C,
+    STATE_R,
+)
+
+LEGAL_EDGES = {
+    (STATE_A, STATE_A),
+    (STATE_A, STATE_R),
+    (STATE_A, STATE_C),
+    (STATE_R, STATE_A),
+}
+
+
+class StubApi:
+    def __init__(self):
+        self.slot = 0
+        self.rng = np.random.default_rng(0)
+        self.rate = None
+        self.timer = None
+        self.node = 0
+
+    def set_rate(self, p):
+        self.rate = p
+
+    def set_timer(self, slot):
+        self.timer = slot
+
+    def cancel_timer(self):
+        self.timer = None
+
+    def flip(self, p):
+        return self.rng.random() < p
+
+
+def make_node():
+    constants = AlgorithmConstants(
+        delta=3, n=4, gamma=1.0, sigma=3.0, eta=1.0, mu=1.0,
+        q_s=0.5, q_l=0.5, phi_2rt=2,
+    )
+    node = MWColoringNode(node_id=0, config=MWSharedConfig(constants=constants))
+    return node, StubApi(), constants
+
+
+@st.composite
+def event_sequences(draw):
+    """Random interleavings of receptions and time advances."""
+    events = []
+    for _ in range(draw(st.integers(1, 30))):
+        kind = draw(st.sampled_from(["advance", "msg_a", "msg_c", "grant", "msg_r"]))
+        if kind == "advance":
+            events.append(("advance", draw(st.integers(1, 12))))
+        elif kind == "msg_a":
+            events.append(
+                ("msg_a", draw(st.integers(1, 5)), draw(st.integers(0, 10)),
+                 draw(st.integers(-20, 20)))
+            )
+        elif kind == "msg_c":
+            events.append(("msg_c", draw(st.integers(1, 5)), draw(st.integers(0, 10))))
+        elif kind == "grant":
+            events.append(
+                ("grant", draw(st.integers(1, 5)), draw(st.integers(1, 3)))
+            )
+        else:
+            events.append(("msg_r", draw(st.integers(1, 5))))
+    return events
+
+
+def drive(node, api, constants, events):
+    """Replay an event sequence, firing due timers, recording transitions."""
+    transitions = []
+    node.on_wake(api)
+    for event in events:
+        if event[0] == "advance":
+            target = api.slot + event[1]
+            # fire any timers that fall inside the advance window, in order
+            while api.timer is not None and api.timer <= target:
+                api.slot = max(api.slot, api.timer)
+                timer_slot, api.timer = api.timer, None
+                before = node.state_class
+                node.on_timer(api)
+                transitions.append((before, node.state_class))
+            api.slot = target
+            continue
+        api.slot += event[1]
+        # fire overdue timers before delivering (simulator ordering)
+        while api.timer is not None and api.timer <= api.slot:
+            api.timer, due = None, api.timer
+            before = node.state_class
+            saved = api.slot
+            api.slot = due
+            node.on_timer(api)
+            api.slot = saved
+            transitions.append((before, node.state_class))
+        before = node.state_class
+        if event[0] == "msg_a":
+            node.on_receive(api, event[2], MsgA(i=node.state_index, sender=event[2], counter=event[3]))
+        elif event[0] == "msg_c":
+            node.on_receive(api, event[2], MsgC(i=node.state_index, sender=event[2]))
+        elif event[0] == "grant":
+            leader = node.leader
+            if node.state_class == STATE_R and leader is not None:
+                node.on_receive(
+                    api, leader, MsgC(i=0, sender=leader, target=0, tc=event[2])
+                )
+        else:
+            node.on_receive(api, 9, MsgR(sender=9, leader=0))
+        transitions.append((before, node.state_class))
+    return transitions
+
+
+class TestMWNodeInvariants:
+    @given(event_sequences())
+    @settings(max_examples=80)
+    def test_transitions_follow_legal_edges(self, events):
+        node, api, constants = make_node()
+        transitions = drive(node, api, constants, events)
+        for before, after in transitions:
+            if before == after:
+                continue
+            assert (before, after) in LEGAL_EDGES, f"illegal {before}->{after}"
+
+    @given(event_sequences())
+    @settings(max_examples=80)
+    def test_counter_bounded_while_competing(self, events):
+        node, api, constants = make_node()
+        drive(node, api, constants, events)
+        if node.state_class == STATE_A and node.phase == PHASE_COMPETE:
+            assert node.counter_at(api.slot) <= constants.counter_threshold
+
+    @given(event_sequences())
+    @settings(max_examples=80)
+    def test_decided_color_is_stable_and_consistent(self, events):
+        node, api, constants = make_node()
+        drive(node, api, constants, events)
+        if node.decided:
+            assert node.state_class == STATE_C
+            assert node.color == node.state_index
+            color = node.color
+            # further traffic cannot change the color
+            node.on_receive(api, 3, MsgC(i=color, sender=3))
+            node.on_receive(api, 3, MsgA(i=color, sender=3, counter=0))
+            assert node.color == color
+
+    @given(event_sequences())
+    @settings(max_examples=80)
+    def test_r_state_always_has_leader(self, events):
+        node, api, constants = make_node()
+        drive(node, api, constants, events)
+        if node.state_class == STATE_R:
+            assert node.leader is not None
+
+    @given(event_sequences())
+    @settings(max_examples=60)
+    def test_cluster_members_state_on_grant_grid(self, events):
+        node, api, constants = make_node()
+        drive(node, api, constants, events)
+        if node.cluster_color is not None and node.state_class == STATE_A:
+            spacing = constants.state_spacing
+            assert node.state_index >= node.cluster_color * spacing

@@ -1,0 +1,214 @@
+"""Unit tests for the event-driven simulator engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.event_sim import EventApi, EventNode, EventSimulator
+from repro.simulation.node import NodeProcess
+from repro.simulation.scheduler import WakeupSchedule
+from repro.simulation.simulator import SlotSimulator
+from repro.sinr.channel import CollisionFreeChannel
+
+
+class EventBeacon(EventNode):
+    """Transmits its id at a fixed rate; records what it hears."""
+
+    def __init__(self, node_id, rate=1.0):
+        self.node_id = node_id
+        self.rate = rate
+        self.heard = []
+        self.tx_slots = []
+
+    def on_wake(self, api: EventApi):
+        api.set_rate(self.rate)
+
+    def make_payload(self, api: EventApi):
+        self.tx_slots.append(api.slot)
+        return self.node_id
+
+    def on_receive(self, api: EventApi, sender, payload):
+        self.heard.append((api.slot, sender, payload))
+
+
+class TimerNode(EventNode):
+    """Fires a timer at a fixed slot, then decides."""
+
+    def __init__(self, fire_at):
+        self.fire_at = fire_at
+        self.fired_at = None
+
+    def on_wake(self, api: EventApi):
+        api.set_timer(self.fire_at)
+
+    def make_payload(self, api: EventApi):  # pragma: no cover - rate stays 0
+        return None
+
+    def on_timer(self, api: EventApi):
+        self.fired_at = api.slot
+
+    @property
+    def decided(self):
+        return self.fired_at is not None
+
+
+def line_positions(n, spacing=0.5):
+    return np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+
+
+def make_sim(nodes, schedule=None, seed=0):
+    n = len(nodes)
+    channel = CollisionFreeChannel(line_positions(n), radius=1.0)
+    if schedule is None:
+        schedule = WakeupSchedule.synchronous(n)
+    return EventSimulator(channel, nodes, schedule, seed=seed)
+
+
+class TestRateOne:
+    def test_rate_one_transmits_every_slot_after_wake(self):
+        nodes = [EventBeacon(0, rate=1.0), EventBeacon(1, rate=0.0)]
+        sim = make_sim(nodes)
+        sim.run(max_slots=5, stop=lambda s: False)
+        # wake at slot 0, first transmission at slot 1 (geometric >= 1)
+        assert nodes[0].tx_slots == [1, 2, 3, 4]
+        assert [h[0] for h in nodes[1].heard] == [1, 2, 3, 4]
+
+    def test_zero_rate_never_transmits(self):
+        nodes = [EventBeacon(0, rate=0.0), EventBeacon(1, rate=0.0)]
+        sim = make_sim(nodes)
+        stats = sim.run(max_slots=50, stop=lambda s: False)
+        assert stats.transmissions == 0
+
+
+class TestTimers:
+    def test_timer_fires_exactly_once(self):
+        node = TimerNode(fire_at=7)
+        sim = make_sim([node])
+        stats = sim.run(max_slots=100)
+        assert node.fired_at == 7
+        assert stats.completed
+        assert stats.slots_run == 8
+
+    def test_timer_replacement(self):
+        class Rearm(TimerNode):
+            def on_wake(self, api):
+                api.set_timer(5)
+                api.set_timer(9)  # replaces the first
+
+        node = Rearm(fire_at=None)
+        sim = make_sim([node])
+        sim.run(max_slots=50)
+        assert node.fired_at == 9
+
+    def test_timer_cancellation(self):
+        class Cancel(EventNode):
+            def __init__(self):
+                self.fired = False
+
+            def on_wake(self, api):
+                api.set_timer(5)
+                api.cancel_timer()
+
+            def make_payload(self, api):  # pragma: no cover
+                return None
+
+            def on_timer(self, api):
+                self.fired = True
+
+        node = Cancel()
+        sim = make_sim([node])
+        sim.run(max_slots=20, stop=lambda s: False)
+        assert not node.fired
+
+    def test_past_timer_rejected(self):
+        class Bad(EventNode):
+            def on_wake(self, api):
+                api.set_timer(api.slot)  # allowed: same slot
+
+            def make_payload(self, api):  # pragma: no cover
+                return None
+
+            def on_timer(self, api):
+                api.set_timer(api.slot - 1)  # in the past
+
+        with pytest.raises(SimulationError):
+            make_sim([Bad()]).run(max_slots=10, stop=lambda s: False)
+
+
+class TestSleep:
+    def test_sleeping_node_hears_nothing(self):
+        nodes = [EventBeacon(0, rate=1.0), EventBeacon(1, rate=0.0)]
+        schedule = WakeupSchedule(np.array([0, 10]))
+        sim = make_sim(nodes, schedule=schedule)
+        sim.run(max_slots=20, stop=lambda s: False)
+        assert all(slot >= 10 for slot, _, _ in nodes[1].heard)
+
+
+class TestStatisticalEquivalence:
+    """The event engine must be statistically identical to the slot loop."""
+
+    class SlotCoin(NodeProcess):
+        def __init__(self, p):
+            self.p = p
+            self.tx = 0
+
+        def on_slot(self, api):
+            if api.flip(self.p):
+                self.tx += 1
+                return "x"
+            return None
+
+    class EventCoin(EventNode):
+        def __init__(self, p):
+            self.p = p
+            self.tx = 0
+
+        def on_wake(self, api):
+            api.set_rate(self.p)
+
+        def make_payload(self, api):
+            self.tx += 1
+            return "x"
+
+    def test_transmission_rate_matches(self):
+        slots, p = 4000, 0.07
+        slot_node = self.SlotCoin(p)
+        channel = CollisionFreeChannel(np.zeros((1, 2)), radius=1.0)
+        SlotSimulator(
+            channel, [slot_node], WakeupSchedule.synchronous(1), seed=5
+        ).run(max_slots=slots, stop=lambda s: False)
+        event_node = self.EventCoin(p)
+        EventSimulator(
+            channel, [event_node], WakeupSchedule.synchronous(1), seed=6
+        ).run(max_slots=slots, stop=lambda s: False)
+        expected = slots * p
+        sigma = (slots * p * (1 - p)) ** 0.5
+        assert abs(slot_node.tx - expected) < 5 * sigma
+        assert abs(event_node.tx - expected) < 5 * sigma
+
+
+class TestValidation:
+    def test_node_count_mismatch(self):
+        channel = CollisionFreeChannel(np.zeros((2, 2)), radius=1.0)
+        with pytest.raises(SimulationError):
+            EventSimulator(
+                channel, [EventBeacon(0)], WakeupSchedule.synchronous(2)
+            )
+
+    def test_bad_rate_rejected(self):
+        class BadRate(EventNode):
+            def on_wake(self, api):
+                api.set_rate(1.5)
+
+            def make_payload(self, api):  # pragma: no cover
+                return None
+
+        with pytest.raises(SimulationError):
+            make_sim([BadRate()]).run(max_slots=5, stop=lambda s: False)
+
+    def test_max_slots_respected(self):
+        nodes = [EventBeacon(0, rate=1.0)]
+        sim = make_sim(nodes)
+        stats = sim.run(max_slots=10, stop=lambda s: False)
+        assert stats.slots_run == 10
+        assert all(slot < 10 for slot in nodes[0].tx_slots)

@@ -1,0 +1,42 @@
+"""Unit tests for the deterministic seed fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.rng import spawn_generators, spawn_seed_sequences
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+        assert len(spawn_seed_sequences(0, 3)) == 3
+
+    def test_deterministic(self):
+        a = spawn_generators(7, 4)
+        b = spawn_generators(7, 4)
+        for ga, gb in zip(a, b):
+            assert ga.random() == gb.random()
+
+    def test_children_independent(self):
+        gens = spawn_generators(1, 2)
+        assert gens[0].random() != gens[1].random()
+
+    def test_different_root_seeds_differ(self):
+        a = spawn_generators(1, 1)[0]
+        b = spawn_generators(2, 1)[0]
+        assert a.random() != b.random()
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spawn_generators(0, -1)
+
+    def test_prefix_stability(self):
+        # the first k children do not depend on how many siblings follow
+        few = spawn_generators(9, 3)
+        many = spawn_generators(9, 10)
+        for gf, gm in zip(few, many):
+            assert gf.random() == gm.random()

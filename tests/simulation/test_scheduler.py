@@ -1,0 +1,60 @@
+"""Unit tests for wake-up schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.scheduler import WakeupSchedule
+
+
+class TestConstruction:
+    def test_synchronous(self):
+        schedule = WakeupSchedule.synchronous(5)
+        assert len(schedule) == 5
+        assert schedule.last_wake == 0
+        np.testing.assert_array_equal(schedule.wake_slots, np.zeros(5))
+
+    def test_uniform_random_in_range(self):
+        schedule = WakeupSchedule.uniform_random(100, max_delay=50, seed=1)
+        assert schedule.wake_slots.min() >= 0
+        assert schedule.wake_slots.max() <= 50
+
+    def test_uniform_random_deterministic(self):
+        a = WakeupSchedule.uniform_random(20, 10, seed=3)
+        b = WakeupSchedule.uniform_random(20, 10, seed=3)
+        np.testing.assert_array_equal(a.wake_slots, b.wake_slots)
+
+    def test_staggered(self):
+        schedule = WakeupSchedule.staggered(4, interval=10)
+        np.testing.assert_array_equal(schedule.wake_slots, [0, 10, 20, 30])
+        assert schedule.last_wake == 30
+
+    def test_rejects_negative_wake(self):
+        with pytest.raises(ConfigurationError):
+            WakeupSchedule(np.array([-1, 0]))
+
+    def test_rejects_float_slots(self):
+        with pytest.raises(ConfigurationError):
+            WakeupSchedule(np.array([0.5, 1.0]))
+
+    def test_empty_schedule(self):
+        schedule = WakeupSchedule.synchronous(0)
+        assert len(schedule) == 0
+        assert schedule.last_wake == 0
+
+
+class TestQueries:
+    def test_awake_mask(self):
+        schedule = WakeupSchedule(np.array([0, 5, 10]))
+        np.testing.assert_array_equal(schedule.awake_mask(0), [True, False, False])
+        np.testing.assert_array_equal(schedule.awake_mask(5), [True, True, False])
+        np.testing.assert_array_equal(schedule.awake_mask(99), [True, True, True])
+
+    def test_waking_now(self):
+        schedule = WakeupSchedule(np.array([0, 5, 5, 10]))
+        np.testing.assert_array_equal(schedule.waking_now(5), [1, 2])
+        np.testing.assert_array_equal(schedule.waking_now(3), [])
+
+    def test_wake_slot(self):
+        schedule = WakeupSchedule(np.array([0, 7]))
+        assert schedule.wake_slot(1) == 7

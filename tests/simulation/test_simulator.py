@@ -1,0 +1,145 @@
+"""Unit tests for the per-slot simulator engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.node import NodeProcess, SlotApi
+from repro.simulation.scheduler import WakeupSchedule
+from repro.simulation.simulator import SlotSimulator
+from repro.sinr.channel import CollisionFreeChannel
+
+
+class Beacon(NodeProcess):
+    """Transmits its id every slot; records everything it hears."""
+
+    def __init__(self, node_id, transmit=True):
+        self.node_id = node_id
+        self.transmit = transmit
+        self.heard = []
+        self.slots_seen = 0
+
+    def on_slot(self, api: SlotApi):
+        self.slots_seen += 1
+        return self.node_id if self.transmit else None
+
+    def on_receive(self, api: SlotApi, sender, payload):
+        self.heard.append((api.slot, sender, payload))
+
+
+class Countdown(NodeProcess):
+    """Decides after a fixed number of slots, never transmits."""
+
+    def __init__(self, ttl):
+        self.ttl = ttl
+
+    def on_slot(self, api: SlotApi):
+        self.ttl -= 1
+        return None
+
+    @property
+    def decided(self):
+        return self.ttl <= 0
+
+
+def make_simulator(nodes, positions=None, schedule=None, **kwargs):
+    n = len(nodes)
+    if positions is None:
+        positions = np.column_stack([np.arange(n) * 0.5, np.zeros(n)])
+    channel = CollisionFreeChannel(positions, radius=1.0)
+    if schedule is None:
+        schedule = WakeupSchedule.synchronous(n)
+    return SlotSimulator(channel, nodes, schedule, **kwargs)
+
+
+class TestStep:
+    def test_single_transmitter_delivers(self):
+        nodes = [Beacon(0), Beacon(1, transmit=False)]
+        sim = make_simulator(nodes)
+        transmissions, deliveries = sim.step()
+        assert len(transmissions) == 1
+        assert nodes[1].heard == [(0, 0, 0)]
+
+    def test_sleeping_node_does_not_act_or_hear(self):
+        nodes = [Beacon(0), Beacon(1, transmit=False)]
+        schedule = WakeupSchedule(np.array([0, 5]))
+        sim = make_simulator(nodes, schedule=schedule)
+        sim.step()
+        assert nodes[1].slots_seen == 0
+        assert nodes[1].heard == []  # radio off while asleep
+
+    def test_wake_slot_joins(self):
+        nodes = [Beacon(0, transmit=False), Beacon(1, transmit=False)]
+        schedule = WakeupSchedule(np.array([0, 3]))
+        sim = make_simulator(nodes, schedule=schedule)
+        for _ in range(5):
+            sim.step()
+        assert nodes[0].slots_seen == 5
+        assert nodes[1].slots_seen == 2
+
+
+class TestRun:
+    def test_stops_when_all_decided(self):
+        nodes = [Countdown(3), Countdown(5)]
+        sim = make_simulator(nodes)
+        stats = sim.run(max_slots=100)
+        assert stats.completed
+        assert stats.slots_run == 5
+        assert stats.decided_count == 2
+
+    def test_budget_exhaustion(self):
+        nodes = [Countdown(1000)]
+        sim = make_simulator(nodes)
+        stats = sim.run(max_slots=10)
+        assert not stats.completed
+        assert stats.slots_run == 10
+
+    def test_custom_stop(self):
+        nodes = [Beacon(0), Beacon(1)]
+        sim = make_simulator(nodes)
+        stats = sim.run(max_slots=100, stop=lambda s: s.slot >= 7)
+        assert stats.completed
+        assert stats.slots_run == 7
+
+    def test_waits_for_last_wake(self):
+        # default stop refuses to declare completion before everyone woke
+        nodes = [Countdown(1), Countdown(1)]
+        schedule = WakeupSchedule(np.array([0, 20]))
+        sim = make_simulator(nodes, schedule=schedule)
+        stats = sim.run(max_slots=100)
+        assert stats.completed
+        assert stats.slots_run >= 21
+
+    def test_counts_transmissions_and_deliveries(self):
+        nodes = [Beacon(0), Beacon(1, transmit=False)]
+        sim = make_simulator(nodes)
+        stats = sim.run(max_slots=10, stop=lambda s: s.slot >= 10)
+        assert stats.transmissions == 10
+        assert stats.deliveries == 10
+
+
+class TestObservers:
+    def test_observer_sees_each_slot(self):
+        seen = []
+
+        class Observer:
+            def on_slot_end(self, slot, transmissions, deliveries):
+                seen.append((slot, len(transmissions), len(deliveries)))
+
+        nodes = [Beacon(0), Beacon(1, transmit=False)]
+        sim = make_simulator(nodes, observers=[Observer()])
+        sim.step()
+        sim.step()
+        assert seen == [(0, 1, 1), (1, 1, 1)]
+
+
+class TestValidation:
+    def test_node_count_mismatch(self):
+        channel = CollisionFreeChannel(np.zeros((2, 2)), radius=1.0)
+        with pytest.raises(SimulationError):
+            SlotSimulator(channel, [Beacon(0)], WakeupSchedule.synchronous(2))
+
+    def test_schedule_mismatch(self):
+        channel = CollisionFreeChannel(np.zeros((1, 2)), radius=1.0)
+        with pytest.raises(SimulationError):
+            SlotSimulator(channel, [Beacon(0)], WakeupSchedule.synchronous(3))

@@ -1,0 +1,52 @@
+"""Unit tests for the trace recorder."""
+
+from repro.simulation.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        trace = TraceRecorder()
+        trace.record(0, 1, "enter_A", 0)
+        trace.record(5, 2, "enter_C", 3)
+        assert len(trace) == 2
+        assert trace.events[0].kind == "enter_A"
+        assert trace.events[1].slot == 5
+
+    def test_disabled_is_noop(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(0, 0, "x")
+        assert len(trace) == 0
+
+    def test_of_kind(self):
+        trace = TraceRecorder()
+        trace.record(0, 0, "a")
+        trace.record(1, 1, "b")
+        trace.record(2, 2, "a")
+        assert [e.slot for e in trace.of_kind("a")] == [0, 2]
+
+    def test_for_node(self):
+        trace = TraceRecorder()
+        trace.record(0, 7, "a")
+        trace.record(1, 8, "a")
+        trace.record(2, 7, "b")
+        assert [e.kind for e in trace.for_node(7)] == ["a", "b"]
+
+    def test_kind_counts(self):
+        trace = TraceRecorder()
+        for _ in range(3):
+            trace.record(0, 0, "reset")
+        trace.record(0, 0, "enter_C")
+        assert trace.kind_counts() == {"reset": 3, "enter_C": 1}
+
+    def test_first_of_kind(self):
+        trace = TraceRecorder()
+        trace.record(3, 0, "enter_C", 1)
+        trace.record(9, 0, "enter_C", 2)
+        first = trace.first_of_kind("enter_C", 0)
+        assert first.slot == 3
+        assert trace.first_of_kind("enter_C", 99) is None
+
+    def test_detail_payload(self):
+        trace = TraceRecorder()
+        trace.record(0, 0, "serve", (4, 2))
+        assert trace.events[0].detail == (4, 2)

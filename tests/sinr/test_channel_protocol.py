@@ -1,0 +1,68 @@
+"""Unit tests for the protocol-model channel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sinr.channel import ProtocolChannel, Transmission
+
+
+class TestProtocolChannel:
+    def test_single_sender_in_range_delivers(self):
+        channel = ProtocolChannel(np.array([[0.0, 0], [0.8, 0]]), radius=1.0)
+        deliveries = channel.resolve([Transmission(0, "x")])
+        assert [(d.receiver, d.sender) for d in deliveries] == [(1, 0)]
+
+    def test_guard_zone_interferer_blocks(self):
+        # sender at 0.8, interferer at 1.3 < (1 + 0.5) * 1.0: blocked —
+        # this is the case the plain graph model would deliver
+        positions = np.array([[0.0, 0], [0.8, 0], [2.1, 0]])
+        channel = ProtocolChannel(positions, radius=1.0, guard=0.5)
+        deliveries = channel.resolve([Transmission(0, "a"), Transmission(2, "b")])
+        assert all(d.receiver != 1 for d in deliveries)
+
+    def test_outside_guard_zone_ok(self):
+        positions = np.array([[0.0, 0], [0.8, 0], [2.5, 0]])
+        channel = ProtocolChannel(positions, radius=1.0, guard=0.5)
+        deliveries = channel.resolve([Transmission(0, "a"), Transmission(2, "b")])
+        assert any(d.receiver == 1 and d.sender == 0 for d in deliveries)
+
+    def test_zero_guard_matches_distance_radius(self):
+        # guard=0: only senders within the radius itself interfere
+        positions = np.array([[0.0, 0], [0.8, 0], [1.85, 0]])
+        channel = ProtocolChannel(positions, radius=1.0, guard=0.0)
+        deliveries = channel.resolve([Transmission(0, "a"), Transmission(2, "b")])
+        assert any(d.receiver == 1 and d.sender == 0 for d in deliveries)
+
+    def test_half_duplex(self):
+        channel = ProtocolChannel(np.array([[0.0, 0], [0.5, 0]]), radius=1.0)
+        assert (
+            channel.resolve([Transmission(0, "a"), Transmission(1, "b")]) == []
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolChannel(np.zeros((1, 2)), radius=0.0)
+        with pytest.raises(ConfigurationError):
+            ProtocolChannel(np.zeros((1, 2)), radius=1.0, guard=-0.1)
+
+    def test_reach_and_guard_accessors(self):
+        channel = ProtocolChannel(np.zeros((1, 2)), radius=2.0, guard=0.3)
+        assert channel.reach == 2.0
+        assert channel.guard == 0.3
+
+    def test_harsher_than_graph_model(self):
+        # any delivery under the protocol model is also a delivery under
+        # the graph model (the guard zone only adds interferers)
+        from repro.sinr.channel import GraphChannel
+
+        rng = np.random.default_rng(3)
+        positions = rng.uniform(0, 6, size=(25, 2))
+        proto = ProtocolChannel(positions, radius=1.0, guard=0.5)
+        graph = GraphChannel(positions, radius=1.0)
+        for trial in range(10):
+            senders = rng.choice(25, size=5, replace=False)
+            txs = [Transmission(int(s), "x") for s in senders]
+            proto_set = {(d.receiver, d.sender) for d in proto.resolve(txs)}
+            graph_set = {(d.receiver, d.sender) for d in graph.resolve(txs)}
+            assert proto_set <= graph_set

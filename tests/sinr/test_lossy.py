@@ -1,0 +1,71 @@
+"""Unit tests for the lossy channel wrapper (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sinr.channel import CollisionFreeChannel, Transmission
+from repro.sinr.lossy import LossyChannel
+
+
+def make_pair():
+    positions = np.array([[0.0, 0.0], [0.5, 0.0]])
+    return CollisionFreeChannel(positions, radius=1.0)
+
+
+class TestLossyChannel:
+    def test_zero_drop_is_transparent(self):
+        channel = LossyChannel(make_pair(), drop=0.0)
+        deliveries = channel.resolve([Transmission(0, "x")])
+        assert len(deliveries) == 1
+        assert channel.dropped == 0
+        assert channel.passed == 1
+
+    def test_full_drop_kills_everything(self):
+        channel = LossyChannel(make_pair(), drop=1.0)
+        assert channel.resolve([Transmission(0, "x")]) == []
+        assert channel.dropped == 1
+
+    def test_drop_rate_statistical(self):
+        channel = LossyChannel(make_pair(), drop=0.3, seed=5)
+        for _ in range(2000):
+            channel.resolve([Transmission(0, "x")])
+        rate = channel.dropped / (channel.dropped + channel.passed)
+        assert abs(rate - 0.3) < 0.05
+
+    def test_deterministic_per_seed(self):
+        a = LossyChannel(make_pair(), drop=0.5, seed=9)
+        b = LossyChannel(make_pair(), drop=0.5, seed=9)
+        for _ in range(100):
+            ra = a.resolve([Transmission(0, "x")])
+            rb = b.resolve([Transmission(0, "x")])
+            assert len(ra) == len(rb)
+
+    def test_reach_and_positions_forwarded(self):
+        inner = make_pair()
+        channel = LossyChannel(inner, drop=0.2)
+        assert channel.reach == inner.reach
+        assert channel.n == inner.n
+        assert channel.inner is inner
+
+    def test_invalid_drop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossyChannel(make_pair(), drop=1.5)
+
+
+class TestMWUnderLoss:
+    def test_protocol_survives_heavy_loss(self, params):
+        # the MW algorithm is retransmission-based: 25% extra random loss
+        # must not break termination, properness or independence
+        from repro import SINRChannel, uniform_deployment
+        from repro.coloring.runner import run_mw_coloring_audited
+
+        dep = uniform_deployment(50, 5.0, seed=2)
+        lossy = LossyChannel(SINRChannel(dep.positions, params), drop=0.25, seed=1)
+        result, auditor = run_mw_coloring_audited(
+            dep, params, seed=4, channel=lossy
+        )
+        assert result.stats.completed
+        assert result.is_proper()
+        assert auditor.clean
+        assert lossy.dropped > 0  # the loss actually happened

@@ -1,0 +1,125 @@
+"""Unit tests for physical parameters and derived ranges."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sinr.params import PhysicalParams
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        PhysicalParams()
+
+    def test_alpha_must_exceed_two(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalParams(alpha=2.0)
+
+    def test_beta_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalParams(beta=0.5)
+
+    def test_rho_above_one(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalParams(rho=1.0)
+
+    def test_positive_noise(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalParams(noise=0.0)
+
+
+class TestRanges:
+    def test_rt_below_rmax(self):
+        params = PhysicalParams()
+        assert params.r_t < params.r_max
+
+    def test_rt_formula(self):
+        params = PhysicalParams(power=16.0, noise=1.0, alpha=4.0, beta=2.0)
+        assert params.r_t == pytest.approx((16.0 / 4.0) ** 0.25)
+
+    def test_rmax_formula(self):
+        params = PhysicalParams(power=16.0, noise=1.0, alpha=4.0, beta=2.0)
+        assert params.r_max == pytest.approx((16.0 / 2.0) ** 0.25)
+
+    def test_ri_at_least_twice_rt(self):
+        for alpha in (2.5, 3.0, 4.0, 6.0):
+            for beta in (1.0, 2.0, 4.0):
+                params = PhysicalParams(alpha=alpha, beta=beta)
+                assert params.r_i >= 2.0 * params.r_t
+
+    def test_ri_formula(self):
+        params = PhysicalParams(alpha=4.0, beta=2.0, rho=2.0)
+        base = 96.0 * 2.0 * 2.0 * 3.0 / 2.0
+        assert params.r_i == pytest.approx(2.0 * params.r_t * math.sqrt(base))
+
+    def test_mac_distance_formula(self):
+        params = PhysicalParams(alpha=4.0, beta=2.0)
+        assert params.mac_distance == pytest.approx((32.0 * 1.5 * 2.0) ** 0.25)
+
+    def test_mac_distance_decreases_with_alpha(self):
+        distances = [
+            PhysicalParams(alpha=a).mac_distance for a in (2.5, 3.0, 4.0, 6.0)
+        ]
+        assert distances == sorted(distances, reverse=True)
+
+
+class TestReception:
+    def test_received_power_law(self):
+        params = PhysicalParams(power=8.0, alpha=3.0)
+        assert params.received_power(2.0) == pytest.approx(1.0)
+
+    def test_received_power_rejects_zero_distance(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalParams().received_power(0.0)
+
+    def test_decodes_at_rt_with_no_interference(self):
+        params = PhysicalParams().with_r_t(1.0)
+        signal = params.received_power(params.r_t)
+        # by construction signal / noise = 2 * beta at exactly R_T
+        assert params.sinr(signal, 0.0) == pytest.approx(2.0 * params.beta)
+        assert params.decodes(signal, 0.0)
+
+    def test_does_not_decode_beyond_rmax(self):
+        params = PhysicalParams().with_r_t(1.0)
+        signal = params.received_power(params.r_max * 1.01)
+        assert not params.decodes(signal, 0.0)
+
+    def test_interference_budget_at_rt(self):
+        # at exactly R_T the tolerable interference equals the noise
+        params = PhysicalParams().with_r_t(1.0)
+        signal = params.received_power(1.0)
+        assert params.decodes(signal, params.noise)
+        assert not params.decodes(signal, params.noise * 1.05)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalParams().sinr(-1.0, 0.0)
+
+
+class TestTransforms:
+    def test_with_r_t_round_trips(self):
+        params = PhysicalParams().with_r_t(2.5)
+        assert params.r_t == pytest.approx(2.5)
+
+    def test_boosted_scales_range_linearly(self):
+        params = PhysicalParams().with_r_t(1.0)
+        boosted = params.boosted(3.0)
+        assert boosted.r_t == pytest.approx(3.0)
+        assert boosted.power == pytest.approx(params.power * 3.0**params.alpha)
+
+    def test_boost_preserves_other_fields(self):
+        params = PhysicalParams(alpha=3.5, beta=1.5, rho=1.7)
+        boosted = params.boosted(2.0)
+        assert boosted.alpha == 3.5
+        assert boosted.beta == 1.5
+        assert boosted.rho == 1.7
+
+    def test_outside_interference_bound_formula(self):
+        params = PhysicalParams().with_r_t(1.0)
+        expected = params.power / (2 * params.rho * params.beta)
+        assert params.outside_interference_bound == pytest.approx(expected)
+
+    def test_describe_mentions_ranges(self):
+        text = PhysicalParams().describe()
+        assert "R_T" in text and "R_I" in text

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestPhysics:
+    def test_prints_geometry(self, capsys):
+        assert main(["physics"]) == 0
+        out = capsys.readouterr().out
+        assert "R_T" in out and "R_I" in out
+        assert "Theorem 3" in out
+
+    def test_custom_constants(self, capsys):
+        assert main(["physics", "--alpha", "6", "--beta", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha=6" in out
+
+
+class TestColor:
+    def test_successful_run_exits_zero(self, capsys):
+        code = main(["color", "--n", "40", "--extent", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MW coloring run" in out
+        assert "yes" in out  # proper / completed flags
+
+    def test_graph_channel(self, capsys):
+        code = main(
+            ["color", "--n", "30", "--extent", "5", "--seed", "1",
+             "--channel", "graph"]
+        )
+        assert code == 0
+
+    def test_grid_family(self, capsys):
+        code = main(["color", "--n", "36", "--extent", "5", "--family", "grid"])
+        assert code == 0
+
+
+class TestMac:
+    def test_theorem3_row_free(self, capsys):
+        code = main(["mac", "--n", "80", "--extent", "6", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distance-1" in out
+        assert "TDMA audit" in out
+
+
+class TestSrs:
+    def test_flooding(self, capsys):
+        code = main(
+            ["srs", "--n", "100", "--extent", "6", "--seed", "24",
+             "--algorithm", "flooding"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "single-round simulation" in out
+
+    def test_disconnected_reports_error(self, capsys):
+        # 10 nodes in a huge square: certainly disconnected
+        code = main(["srs", "--n", "10", "--extent", "50", "--seed", "0"])
+        assert code == 2
+        assert "disconnected" in capsys.readouterr().err
+
+
+class TestEstimate:
+    def test_reports_estimate(self, capsys):
+        code = main(["estimate", "--n", "50", "--extent", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "true_delta" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])

@@ -1,0 +1,55 @@
+"""The exception hierarchy and the public package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ColoringError,
+    ConfigurationError,
+    DeploymentError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ConfigurationError,
+            DeploymentError,
+            SimulationError,
+            ProtocolError,
+            ColoringError,
+            ScheduleError,
+        ],
+    )
+    def test_all_derive_from_base(self, error):
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("boom")
+
+    def test_base_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing name {name}"
+
+    def test_key_entry_points_exported(self):
+        for name in (
+            "run_mw_coloring",
+            "PhysicalParams",
+            "UnitDiskGraph",
+            "TDMASchedule",
+            "verify_tdma_broadcast",
+            "simulate_uniform_algorithm",
+        ):
+            assert name in repro.__all__

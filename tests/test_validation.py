@@ -1,0 +1,95 @@
+"""Unit tests for the argument-validation helpers."""
+
+import math
+
+import pytest
+
+from repro._validation import (
+    require_finite,
+    require_in,
+    require_int,
+    require_nonnegative,
+    require_positive,
+    require_probability,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 0.5) == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            require_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_positive("x", -1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            require_positive("x", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            require_positive("x", math.inf)
+
+
+class TestRequireNonnegative:
+    def test_accepts_zero(self):
+        assert require_nonnegative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_nonnegative("x", -0.1)
+
+
+class TestRequireFinite:
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            require_finite("x", "3")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            require_finite("x", True)
+
+    def test_accepts_int(self):
+        assert require_finite("x", 3) == 3
+
+
+class TestRequireProbability:
+    def test_bounds_inclusive(self):
+        assert require_probability("p", 0.0) == 0.0
+        assert require_probability("p", 1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ConfigurationError):
+            require_probability("p", 1.01)
+
+
+class TestRequireInt:
+    def test_accepts_int(self):
+        assert require_int("k", 5) == 5
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            require_int("k", 5.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            require_int("k", True)
+
+    def test_minimum(self):
+        with pytest.raises(ConfigurationError):
+            require_int("k", 2, minimum=3)
+        assert require_int("k", 3, minimum=3) == 3
+
+
+class TestRequireIn:
+    def test_accepts_member(self):
+        assert require_in("mode", "a", ("a", "b")) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            require_in("mode", "c", ("a", "b"))
