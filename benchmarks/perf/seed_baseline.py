@@ -1,0 +1,180 @@
+"""Faithful copies of the *seed* channel resolvers, kept for perf deltas.
+
+These functions replicate, line for line, the resolution algorithms the
+repository shipped with before the shared engine landed (commit
+``85415e2``): the SINR path computes the dense distance matrix twice per
+slot and every channel walks receivers in a Python loop.  They exist so
+``bench_channels.py`` can report speedups against a fixed reference rather
+than against whatever the previous commit happened to be.
+
+Do not "fix" or vectorise anything here — slowness is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.grid_index import GridIndex
+from repro.sinr.channel import Delivery, Transmission
+from repro.sinr.params import PhysicalParams
+
+
+def _near_field_floor(params: PhysicalParams) -> float:
+    return params.r_t * 1e-6
+
+
+def _distances_to(
+    positions: np.ndarray, senders: np.ndarray, floor: float
+) -> np.ndarray:
+    diff = positions[:, None, :] - positions[senders][None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    return np.maximum(dist, floor)
+
+
+def seed_sinr_resolve(
+    positions: np.ndarray,
+    params: PhysicalParams,
+    transmissions: Sequence[Transmission],
+    half_duplex: bool = True,
+) -> list[Delivery]:
+    """The seed ``SINRChannel.resolve``: two distance passes + Python loop."""
+    senders = np.asarray([t.sender for t in transmissions], dtype=np.intp)
+    if senders.size == 0:
+        return []
+    n = len(positions)
+    floor = _near_field_floor(params)
+
+    dist = _distances_to(positions, senders, floor)
+    power = params.power / dist**params.alpha
+    power[senders, np.arange(senders.size)] = 0.0
+    total = power.sum(axis=1)
+
+    dist = _distances_to(positions, senders, floor)  # the seed's second pass
+
+    best_col = np.argmax(power, axis=1)
+    rows = np.arange(n)
+    best_power = power[rows, best_col]
+    best_dist = dist[rows, best_col]
+    interference = total - best_power
+
+    decodable = best_power >= params.beta * (params.noise + interference)
+    in_range = best_dist <= params.r_t
+    receiving = decodable & in_range & (best_power > 0)
+    if half_duplex:
+        receiving[senders] = False
+
+    deliveries = []
+    for receiver in np.flatnonzero(receiving):
+        j = int(best_col[receiver])
+        deliveries.append(
+            Delivery(
+                receiver=int(receiver),
+                sender=int(senders[j]),
+                payload=transmissions[j].payload,
+            )
+        )
+    return deliveries
+
+
+def seed_graph_resolve(
+    positions: np.ndarray,
+    index: GridIndex,
+    radius: float,
+    transmissions: Sequence[Transmission],
+    half_duplex: bool = True,
+) -> list[Delivery]:
+    """The seed ``GraphChannel.resolve`` with its per-receiver Python loop."""
+    senders = np.asarray([t.sender for t in transmissions], dtype=np.intp)
+    if senders.size == 0:
+        return []
+    n = len(positions)
+    payload_of = {int(t.sender): t.payload for t in transmissions}
+    sender_set = set(int(s) for s in senders)
+
+    hit_count = np.zeros(n, dtype=np.intp)
+    last_sender = np.full(n, -1, dtype=np.intp)
+    for sender in senders:
+        nearby = index.neighbors_within(int(sender), radius)
+        hit_count[nearby] += 1
+        last_sender[nearby] = sender
+
+    deliveries = []
+    for receiver in np.flatnonzero(hit_count == 1):
+        receiver = int(receiver)
+        if half_duplex and receiver in sender_set:
+            continue
+        sender = int(last_sender[receiver])
+        deliveries.append(
+            Delivery(receiver=receiver, sender=sender, payload=payload_of[sender])
+        )
+    return deliveries
+
+
+def seed_protocol_resolve(
+    positions: np.ndarray,
+    radius: float,
+    guard: float,
+    transmissions: Sequence[Transmission],
+    half_duplex: bool = True,
+) -> list[Delivery]:
+    """The seed ``ProtocolChannel.resolve``: O(n) receiver loop over rows."""
+    senders = np.asarray([t.sender for t in transmissions], dtype=np.intp)
+    if senders.size == 0:
+        return []
+    n = len(positions)
+    payload_of = {int(t.sender): t.payload for t in transmissions}
+    sender_set = set(int(s) for s in senders)
+    diff = positions[:, None, :] - positions[senders][None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    dist[senders, np.arange(senders.size)] = np.inf
+    guard_radius = (1.0 + guard) * radius
+    deliveries = []
+    for receiver in range(n):
+        if half_duplex and receiver in sender_set:
+            continue
+        row = dist[receiver]
+        nearest = int(np.argmin(row))
+        if row[nearest] > radius:
+            continue
+        interferers = np.sum(row <= guard_radius) - 1
+        if interferers > 0:
+            continue
+        sender = int(senders[nearest])
+        deliveries.append(
+            Delivery(receiver=receiver, sender=sender, payload=payload_of[sender])
+        )
+    return deliveries
+
+
+def seed_collision_free_resolve(
+    positions: np.ndarray,
+    radius: float,
+    transmissions: Sequence[Transmission],
+    half_duplex: bool = True,
+) -> list[Delivery]:
+    """The seed ``CollisionFreeChannel.resolve`` with its delivery loop."""
+    senders = np.asarray([t.sender for t in transmissions], dtype=np.intp)
+    if senders.size == 0:
+        return []
+    diff = positions[:, None, :] - positions[senders][None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    dist[senders, np.arange(senders.size)] = np.inf
+    best_col = np.argmin(dist, axis=1)
+    rows = np.arange(len(positions))
+    best_dist = dist[rows, best_col]
+    receiving = best_dist <= radius
+    if half_duplex:
+        receiving[senders] = False
+    deliveries = []
+    for receiver in np.flatnonzero(receiving):
+        j = int(best_col[receiver])
+        deliveries.append(
+            Delivery(
+                receiver=int(receiver),
+                sender=int(senders[j]),
+                payload=transmissions[j].payload,
+            )
+        )
+    return deliveries

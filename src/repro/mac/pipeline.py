@@ -10,6 +10,12 @@ Glues the Section V pipeline together for downstream users:
 
 Returns everything a MAC user needs, plus the audit so callers can assert
 rather than trust.
+
+Both the coloring run and the frame audit resolve slots through the shared
+vectorised engine (:mod:`repro.sinr.engine`); downstream users of the
+returned :class:`MacLayer` that replay TDMA frames should construct their
+channels with ``cache_slots=frame_length`` to reuse per-color geometry
+across frames, as :mod:`repro.mac.srs` does.
 """
 
 from __future__ import annotations

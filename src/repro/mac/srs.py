@@ -104,7 +104,12 @@ def simulate_uniform_algorithm(
                 n=graph.n,
             )
         )
-    channel = SINRChannel(graph.positions, params)
+    # Sender sets repeat frame after frame (one color class per slot), so
+    # the engine's geometry cache sized to the frame turns every round
+    # after the first into O(n) mask lookups.
+    channel = SINRChannel(
+        graph.positions, params, cache_slots=schedule.frame_length
+    )
     expected = 0
     lost = 0
     rounds = 0
@@ -188,7 +193,9 @@ def simulate_general_algorithm(
                 n=graph.n,
             )
         )
-    channel = SINRChannel(graph.positions, params)
+    channel = SINRChannel(
+        graph.positions, params, cache_slots=schedule.frame_length
+    )
     expected = 0
     lost = 0
     rounds = 0

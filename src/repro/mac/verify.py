@@ -77,6 +77,8 @@ def verify_tdma_broadcast(
         raise ScheduleError(
             f"schedule covers {schedule.n} nodes, graph has {graph.n}"
         )
+    # One engine-backed channel for the whole frame: each color class is a
+    # distinct sender set, resolved in a single vectorised pass per slot.
     channel = SINRChannel(graph.positions, params)
     expected = 0
     delivered = 0

@@ -147,10 +147,14 @@ class SlotSimulator:
             if payload is not None:
                 transmissions.append(Transmission(sender=node, payload=payload))
 
-        deliveries = self._channel.resolve(transmissions)
+        # Silent slots skip the channel entirely — resolution cost is paid
+        # only when someone actually transmits.
+        deliveries = self._channel.resolve(transmissions) if transmissions else []
         # Sleeping radios are off: deliveries to not-yet-woken nodes are
         # dropped (the paper's nodes wake spontaneously, never by message).
-        deliveries = [d for d in deliveries if self._awake[d.receiver]]
+        if deliveries:
+            awake = self._awake
+            deliveries = [d for d in deliveries if awake[d.receiver]]
         for delivery in deliveries:
             self._nodes[delivery.receiver].on_receive(
                 self._api(delivery.receiver, slot), delivery.sender, delivery.payload

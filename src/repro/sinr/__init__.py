@@ -5,6 +5,10 @@
 * :mod:`repro.sinr.channel` — per-slot reception resolution under three
   interference semantics: the paper's SINR model, the graph-based model of
   the original MW analysis, and a collision-free oracle.
+* :mod:`repro.sinr.engine` — the shared vectorised channel-resolution
+  engine: one squared-distance computation per (slot, sender set), memoised
+  derived matrices, and an opt-in sender-set geometry cache for
+  frame-periodic schedules.
 * :mod:`repro.sinr.interference` — interference measurement utilities used
   to validate Lemma 3 empirically.
 """
@@ -18,6 +22,7 @@ from .channel import (
     SINRChannel,
     Transmission,
 )
+from .engine import EngineCacheInfo, ResolutionEngine, SlotGeometry
 from .interference import InterferenceMeter, received_power, total_interference
 from .lossy import LossyChannel
 from .params import PhysicalParams
@@ -26,12 +31,15 @@ __all__ = [
     "Channel",
     "CollisionFreeChannel",
     "Delivery",
+    "EngineCacheInfo",
     "GraphChannel",
     "InterferenceMeter",
     "LossyChannel",
     "PhysicalParams",
     "ProtocolChannel",
+    "ResolutionEngine",
     "SINRChannel",
+    "SlotGeometry",
     "Transmission",
     "received_power",
     "total_interference",

@@ -17,6 +17,13 @@ Common semantics shared by all channels:
   the strongest decodable in-range sender.
 * The paper's decoding-margin assumption applies: a message is only received
   from senders within the transmission range ``R_T``.
+
+All dense channels resolve through the shared
+:class:`~repro.sinr.engine.ResolutionEngine`: squared distances are
+computed once per (slot, sender set), reception masks are derived in a
+single vectorised pass, and protocols whose sender sets repeat across
+frames (TDMA, SRS) can opt into a slot-level geometry cache via the
+``cache_slots`` constructor argument.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..geometry.grid_index import GridIndex
 from ..geometry.point import as_positions
+from .engine import ResolutionEngine, SlotGeometry, build_deliveries
 from .params import PhysicalParams
 
 __all__ = [
@@ -37,6 +45,7 @@ __all__ = [
     "CollisionFreeChannel",
     "Delivery",
     "GraphChannel",
+    "ProtocolChannel",
     "SINRChannel",
     "Transmission",
 ]
@@ -65,6 +74,7 @@ class Channel(ABC):
     def __init__(self, positions: np.ndarray, half_duplex: bool = True) -> None:
         self._positions = as_positions(positions)
         self._half_duplex = bool(half_duplex)
+        self._engine: ResolutionEngine | None = None
 
     @property
     def positions(self) -> np.ndarray:
@@ -80,6 +90,11 @@ class Channel(ABC):
     def half_duplex(self) -> bool:
         """Whether transmitting nodes are barred from receiving in the same slot."""
         return self._half_duplex
+
+    @property
+    def engine(self) -> ResolutionEngine | None:
+        """The channel's resolution engine (None for channels without one)."""
+        return self._engine
 
     @property
     @abstractmethod
@@ -118,6 +133,9 @@ class SINRChannel(Channel):
     Interference is *global*: every simultaneous transmitter in the network
     contributes, which is exactly what distinguishes this model from the
     graph-based one.
+
+    ``cache_slots`` enables the engine's sender-set geometry cache; frame
+    periodic schedules (TDMA, SRS) should set it to the frame length.
     """
 
     def __init__(
@@ -125,12 +143,11 @@ class SINRChannel(Channel):
         positions: np.ndarray,
         params: PhysicalParams,
         half_duplex: bool = True,
+        cache_slots: int = 0,
     ) -> None:
         super().__init__(positions, half_duplex)
         self._params = params
-        # Precomputing nothing per-pair: the per-slot resolve is a dense
-        # (n x k) vectorised computation with k = number of transmitters,
-        # which for the paper's probabilities (q_s ~ 1/Delta) stays tiny.
+        self._engine = ResolutionEngine(self._positions, cache_slots=cache_slots)
 
     @property
     def params(self) -> PhysicalParams:
@@ -152,63 +169,65 @@ class SINRChannel(Channel):
         """
         return self._params.r_t * 1e-6
 
-    def _distances_to(self, senders: np.ndarray) -> np.ndarray:
-        diff = self._positions[:, None, :] - self._positions[senders][None, :, :]
-        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-        return np.maximum(dist, self._near_field_floor())
-
     def signal_matrix(self, senders: np.ndarray) -> np.ndarray:
         """Received-power matrix, shape ``(n, len(senders))``.
 
         Entry ``[u, j]`` is ``P / delta(u, senders[j])^alpha`` (distances
         clamped by the near-field floor); a sender's own row entry is 0
         (its own signal is not interference to itself and it cannot receive
-        while transmitting anyway).
+        while transmitting anyway).  Returns a private copy — the engine's
+        internal matrices are frozen.
         """
+        senders = np.asarray(senders, dtype=np.intp)
         if senders.size == 0:
             return np.zeros((self.n, 0))
-        dist = self._distances_to(senders)
-        power = self._params.power / dist**self._params.alpha
-        power[senders, np.arange(senders.size)] = 0.0
-        return power
+        return self._power_of(self._engine.geometry(senders)).copy()
+
+    def _power_of(self, geometry: SlotGeometry) -> np.ndarray:
+        floor = self._near_field_floor()
+        return geometry.power(
+            self._params.power, self._params.alpha, floor * floor
+        )
+
+    def _reception_of(self, geometry: SlotGeometry) -> tuple[np.ndarray, np.ndarray]:
+        """``(receiving mask, best column per receiver)`` for this sender set.
+
+        Payload-independent, so memoised on the geometry: frame-periodic
+        schedules resolve repeated sender sets in O(n) after the first
+        frame.
+        """
+
+        def compute() -> tuple[np.ndarray, np.ndarray]:
+            params = self._params
+            power = self._power_of(geometry)
+            total = power.sum(axis=1)
+
+            # Strongest sender per receiver; with beta >= 1 it is the only
+            # possibly-decodable one.
+            best_col = np.argmax(power, axis=1)
+            rows = np.arange(self.n)
+            best_power = power[rows, best_col]
+            interference = total - best_power
+
+            decodable = best_power >= params.beta * (params.noise + interference)
+            in_range = geometry.dist_sq[rows, best_col] <= params.r_t * params.r_t
+            receiving = decodable & in_range & (best_power > 0)
+            if self._half_duplex:
+                receiving[geometry.senders] = False
+            return receiving, best_col
+
+        return geometry.derive(f"sinr:{self._half_duplex}", compute)
 
     def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
         senders = self._check_transmissions(transmissions)
         if senders.size == 0:
             return []
-        power = self.signal_matrix(senders)
-        total = power.sum(axis=1)
-
-        dist = self._distances_to(senders)
-
-        # Strongest sender per receiver; with beta >= 1 it is the only
-        # possibly-decodable one.
-        best_col = np.argmax(power, axis=1)
-        rows = np.arange(self.n)
-        best_power = power[rows, best_col]
-        best_dist = dist[rows, best_col]
-        interference = total - best_power
-
-        decodable = (
-            best_power
-            >= self._params.beta * (self._params.noise + interference)
+        geometry = self._engine.geometry(senders)
+        receiving, best_col = self._reception_of(geometry)
+        receivers = np.flatnonzero(receiving)
+        return build_deliveries(
+            receivers, best_col[receivers], geometry.senders, transmissions
         )
-        in_range = best_dist <= self._params.r_t
-        receiving = decodable & in_range & (best_power > 0)
-        if self._half_duplex:
-            receiving[senders] = False
-
-        deliveries = []
-        for receiver in np.flatnonzero(receiving):
-            j = int(best_col[receiver])
-            deliveries.append(
-                Delivery(
-                    receiver=int(receiver),
-                    sender=int(senders[j]),
-                    payload=transmissions[j].payload,
-                )
-            )
-        return deliveries
 
     def interference_split(
         self, receiver: int, senders: np.ndarray, boundary: float
@@ -240,6 +259,10 @@ class GraphChannel(Channel):
     ``radius``) transmits in the slot — any second transmitting neighbour
     destroys reception, and non-neighbours never interfere.  This is the
     "simple graph based model" the paper contrasts against.
+
+    Resolution scatters from each sender's grid-indexed neighbourhood, so
+    cost scales with the occupied neighbourhoods rather than densely with
+    ``n x k``; the delivery pass itself is vectorised.
     """
 
     def __init__(
@@ -260,28 +283,24 @@ class GraphChannel(Channel):
         senders = self._check_transmissions(transmissions)
         if senders.size == 0:
             return []
-        payload_of = {int(t.sender): t.payload for t in transmissions}
-        sender_set = set(int(s) for s in senders)
 
         # Count transmitting neighbours of every node by scattering from
-        # each sender's neighbourhood.
+        # each sender's neighbourhood; remember which column hit last so a
+        # uniquely-covered receiver knows its sender without a second scan.
         hit_count = np.zeros(self.n, dtype=np.intp)
-        last_sender = np.full(self.n, -1, dtype=np.intp)
-        for sender in senders:
+        last_col = np.full(self.n, -1, dtype=np.intp)
+        for column, sender in enumerate(senders):
             nearby = self._index.neighbors_within(int(sender), self._radius)
             hit_count[nearby] += 1
-            last_sender[nearby] = sender
+            last_col[nearby] = column
 
-        deliveries = []
-        for receiver in np.flatnonzero(hit_count == 1):
-            receiver = int(receiver)
-            if self._half_duplex and receiver in sender_set:
-                continue
-            sender = int(last_sender[receiver])
-            deliveries.append(
-                Delivery(receiver=receiver, sender=sender, payload=payload_of[sender])
-            )
-        return deliveries
+        receiving = hit_count == 1
+        if self._half_duplex:
+            receiving[senders] = False
+        receivers = np.flatnonzero(receiving)
+        return build_deliveries(
+            receivers, last_col[receivers], senders, transmissions
+        )
 
 
 class ProtocolChannel(Channel):
@@ -300,6 +319,7 @@ class ProtocolChannel(Channel):
         radius: float,
         guard: float = 0.5,
         half_duplex: bool = True,
+        cache_slots: int = 0,
     ) -> None:
         super().__init__(positions, half_duplex)
         if radius <= 0:
@@ -308,6 +328,7 @@ class ProtocolChannel(Channel):
             raise ConfigurationError(f"guard must be >= 0, got {guard}")
         self._radius = float(radius)
         self._guard = float(guard)
+        self._engine = ResolutionEngine(self._positions, cache_slots=cache_slots)
 
     @property
     def reach(self) -> float:
@@ -319,32 +340,35 @@ class ProtocolChannel(Channel):
         """Relative guard-zone width: interference radius is ``(1+guard)*R``."""
         return self._guard
 
+    def _reception_of(self, geometry: SlotGeometry) -> tuple[np.ndarray, np.ndarray]:
+        """``(receiving mask, nearest column)``: one dense pass, no receiver loop."""
+
+        def compute() -> tuple[np.ndarray, np.ndarray]:
+            masked = geometry.masked_sq()
+            nearest = np.argmin(masked, axis=1)
+            rows = np.arange(self.n)
+            nearest_sq = masked[rows, nearest]
+            guard_radius = (1.0 + self._guard) * self._radius
+            # Exactly one sender (the nearest) inside the guard zone, and
+            # that sender within communication range.
+            in_guard = (masked <= guard_radius * guard_radius).sum(axis=1)
+            receiving = (nearest_sq <= self._radius * self._radius) & (in_guard == 1)
+            if self._half_duplex:
+                receiving[geometry.senders] = False
+            return receiving, nearest
+
+        return geometry.derive(f"protocol:{self._half_duplex}", compute)
+
     def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
         senders = self._check_transmissions(transmissions)
         if senders.size == 0:
             return []
-        payload_of = {int(t.sender): t.payload for t in transmissions}
-        sender_set = set(int(s) for s in senders)
-        diff = self._positions[:, None, :] - self._positions[senders][None, :, :]
-        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-        dist[senders, np.arange(senders.size)] = np.inf
-        guard_radius = (1.0 + self._guard) * self._radius
-        deliveries = []
-        for receiver in range(self.n):
-            if self._half_duplex and receiver in sender_set:
-                continue
-            row = dist[receiver]
-            nearest = int(np.argmin(row))
-            if row[nearest] > self._radius:
-                continue
-            interferers = np.sum(row <= guard_radius) - 1
-            if interferers > 0:
-                continue
-            sender = int(senders[nearest])
-            deliveries.append(
-                Delivery(receiver=receiver, sender=sender, payload=payload_of[sender])
-            )
-        return deliveries
+        geometry = self._engine.geometry(senders)
+        receiving, nearest = self._reception_of(geometry)
+        receivers = np.flatnonzero(receiving)
+        return build_deliveries(
+            receivers, nearest[receivers], geometry.senders, transmissions
+        )
 
 
 class CollisionFreeChannel(Channel):
@@ -356,39 +380,42 @@ class CollisionFreeChannel(Channel):
     """
 
     def __init__(
-        self, positions: np.ndarray, radius: float, half_duplex: bool = True
+        self,
+        positions: np.ndarray,
+        radius: float,
+        half_duplex: bool = True,
+        cache_slots: int = 0,
     ) -> None:
         super().__init__(positions, half_duplex)
         if radius <= 0:
             raise ConfigurationError(f"radius must be > 0, got {radius}")
         self._radius = float(radius)
+        self._engine = ResolutionEngine(self._positions, cache_slots=cache_slots)
 
     @property
     def reach(self) -> float:
         """Single-hop delivery range."""
         return self._radius
 
+    def _reception_of(self, geometry: SlotGeometry) -> tuple[np.ndarray, np.ndarray]:
+        def compute() -> tuple[np.ndarray, np.ndarray]:
+            masked = geometry.masked_sq()
+            nearest = np.argmin(masked, axis=1)
+            rows = np.arange(self.n)
+            receiving = masked[rows, nearest] <= self._radius * self._radius
+            if self._half_duplex:
+                receiving[geometry.senders] = False
+            return receiving, nearest
+
+        return geometry.derive(f"collision_free:{self._half_duplex}", compute)
+
     def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
         senders = self._check_transmissions(transmissions)
         if senders.size == 0:
             return []
-        diff = self._positions[:, None, :] - self._positions[senders][None, :, :]
-        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-        dist[senders, np.arange(senders.size)] = np.inf
-        best_col = np.argmin(dist, axis=1)
-        rows = np.arange(self.n)
-        best_dist = dist[rows, best_col]
-        receiving = best_dist <= self._radius
-        if self._half_duplex:
-            receiving[senders] = False
-        deliveries = []
-        for receiver in np.flatnonzero(receiving):
-            j = int(best_col[receiver])
-            deliveries.append(
-                Delivery(
-                    receiver=int(receiver),
-                    sender=int(senders[j]),
-                    payload=transmissions[j].payload,
-                )
-            )
-        return deliveries
+        geometry = self._engine.geometry(senders)
+        receiving, nearest = self._reception_of(geometry)
+        receivers = np.flatnonzero(receiving)
+        return build_deliveries(
+            receivers, nearest[receivers], geometry.senders, transmissions
+        )

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.sinr.channel import (
     CollisionFreeChannel,
     GraphChannel,
+    ProtocolChannel,
     SINRChannel,
     Transmission,
 )
@@ -17,6 +18,16 @@ PARAMS = PhysicalParams().with_r_t(1.0)
 coordinate = st.floats(
     min_value=0.0, max_value=12.0, allow_nan=False, allow_infinity=False
 )
+
+
+def all_channels(positions):
+    """One instance of every channel type over the same deployment."""
+    return (
+        SINRChannel(positions, PARAMS),
+        GraphChannel(positions, PARAMS.r_t),
+        ProtocolChannel(positions, PARAMS.r_t, guard=0.5),
+        CollisionFreeChannel(positions, PARAMS.r_t),
+    )
 
 
 @st.composite
@@ -39,11 +50,7 @@ class TestUniversalChannelProperties:
     @settings(max_examples=50)
     def test_at_most_one_delivery_per_receiver(self, data):
         positions, senders = data
-        for channel in (
-            SINRChannel(positions, PARAMS),
-            GraphChannel(positions, PARAMS.r_t),
-            CollisionFreeChannel(positions, PARAMS.r_t),
-        ):
+        for channel in all_channels(positions):
             deliveries = resolve(channel, senders)
             receivers = [d.receiver for d in deliveries]
             assert len(receivers) == len(set(receivers))
@@ -53,11 +60,7 @@ class TestUniversalChannelProperties:
     def test_half_duplex_senders_never_receive(self, data):
         positions, senders = data
         sender_set = set(senders)
-        for channel in (
-            SINRChannel(positions, PARAMS),
-            GraphChannel(positions, PARAMS.r_t),
-            CollisionFreeChannel(positions, PARAMS.r_t),
-        ):
+        for channel in all_channels(positions):
             for delivery in resolve(channel, senders):
                 assert delivery.receiver not in sender_set
 
@@ -65,16 +68,22 @@ class TestUniversalChannelProperties:
     @settings(max_examples=50)
     def test_delivery_only_within_reach(self, data):
         positions, senders = data
-        for channel in (
-            SINRChannel(positions, PARAMS),
-            GraphChannel(positions, PARAMS.r_t),
-            CollisionFreeChannel(positions, PARAMS.r_t),
-        ):
+        for channel in all_channels(positions):
             for delivery in resolve(channel, senders):
                 gap = np.hypot(
                     *(positions[delivery.sender] - positions[delivery.receiver])
                 )
                 assert gap <= channel.reach + 1e-9
+
+    @given(scenario())
+    @settings(max_examples=50)
+    def test_every_delivered_sender_actually_transmitted(self, data):
+        positions, senders = data
+        sender_set = set(senders)
+        for channel in all_channels(positions):
+            for delivery in resolve(channel, senders):
+                assert delivery.sender in sender_set
+                assert delivery.sender != delivery.receiver
 
     @given(scenario())
     @settings(max_examples=50)
@@ -126,3 +135,35 @@ class TestSINRSpecificProperties:
             }
             best = min(gaps.values())
             assert gaps[delivery.sender] <= best + 1e-9
+
+
+class TestCoincidentSenders:
+    """Near-field-floor physics: coincident nodes are finite and symmetric."""
+
+    @given(st.tuples(coordinate, coordinate), st.integers(0, 100))
+    @settings(max_examples=50)
+    def test_two_coincident_simultaneous_senders_jam_each_other(self, spot, salt):
+        # two senders on the same coordinates: every receiver sees two
+        # exactly-equal signals, SINR <= 1 < beta, nobody decodes either
+        rng = np.random.default_rng(salt)
+        listeners = rng.uniform(0.0, 12.0, size=(3, 2))
+        positions = np.vstack([[spot, spot], listeners])
+        channel = SINRChannel(positions, PARAMS)
+        assert resolve(channel, [0, 1]) == []
+
+    @given(st.tuples(coordinate, coordinate))
+    @settings(max_examples=50)
+    def test_receiver_coincident_with_lone_sender_decodes(self, spot):
+        # a single sender under the receiver's feet: the distance floor
+        # clamps the divergence and the SINR is enormous
+        positions = np.asarray([spot, spot], dtype=np.float64)
+        channel = SINRChannel(positions, PARAMS)
+        deliveries = resolve(channel, [0])
+        assert [(d.receiver, d.sender) for d in deliveries] == [(1, 0)]
+
+    def test_coincident_senders_jam_even_with_distant_listener(self):
+        # the jam is global: even a listener at a comfortable distance
+        # cannot pick one of the two identical signals
+        positions = np.array([[2.0, 2.0], [2.0, 2.0], [2.5, 2.0]])
+        channel = SINRChannel(positions, PARAMS)
+        assert resolve(channel, [0, 1]) == []
