@@ -18,7 +18,7 @@ import numpy as np
 from ..coloring.result import MWColoringResult
 from ..errors import ConfigurationError
 
-__all__ = ["ProtocolStats", "trace_statistics"]
+__all__ = ["ProtocolStats", "trace_statistics", "trace_statistics_from"]
 
 
 @dataclass(frozen=True)
@@ -81,7 +81,24 @@ def trace_statistics(result: MWColoringResult) -> ProtocolStats:
         raise ConfigurationError(
             "trace_statistics needs a traced run (run_mw_coloring(..., trace=True))"
         )
+    return trace_statistics_from(
+        trace,
+        n=result.n,
+        leaders=result.leaders,
+        decision_slots=result.decision_slots,
+    )
 
+
+def trace_statistics_from(trace, n: int, leaders, decision_slots) -> ProtocolStats:
+    """:func:`trace_statistics` from its raw ingredients.
+
+    Works on any :class:`~repro.simulation.trace.TraceRecorder`-shaped
+    event log — in particular one rebuilt from a telemetry JSONL artifact
+    (:func:`repro.telemetry.read_run`), whose summary carries ``n``,
+    ``leaders`` and ``decision_slots``.  The live and offline paths share
+    this aggregation, so exported statistics match in-memory ones
+    exactly.
+    """
     resets = Counter()
     a_entries = Counter()
     request_enter: dict[int, int] = {}
@@ -99,16 +116,15 @@ def trace_statistics(result: MWColoringResult) -> ProtocolStats:
         elif event.kind == "serve":
             serves += 1
 
-    n = result.n
     reset_counts = np.asarray([resets.get(v, 0) for v in range(n)])
     visit_counts = np.asarray([a_entries.get(v, 0) for v in range(n)])
-    leader_set = set(int(v) for v in result.leaders)
+    leader_set = set(int(v) for v in leaders)
     leader_slots = [
-        int(s) for v, s in enumerate(result.decision_slots) if v in leader_set and s >= 0
+        int(s) for v, s in enumerate(decision_slots) if v in leader_set and s >= 0
     ]
     member_slots = [
         int(s)
-        for v, s in enumerate(result.decision_slots)
+        for v, s in enumerate(decision_slots)
         if v not in leader_set and s >= 0
     ]
     return ProtocolStats(

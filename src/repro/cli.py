@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five subcommands expose the library's main flows without writing code:
+The subcommands expose the library's main flows without writing code:
 
 * ``physics``  — print the derived geometry (R_T, R_max, R_I, d) for a set
   of physical constants.
@@ -11,8 +11,14 @@ Five subcommands expose the library's main flows without writing code:
 * ``srs``      — simulate a uniform message-passing algorithm over the
   SINR MAC layer (Corollary 1) and compare against the reference run.
 * ``estimate`` — run the degree-probing protocol (unknown-Delta extension).
+* ``experiment`` — run a registered EXP-1..EXP-13 claim validation.
+* ``report``   — summarise a telemetry JSONL artifact offline.
 
-All commands are deterministic given ``--seed``.
+``color``, ``srs`` and ``experiment`` take ``--telemetry-out FILE`` to
+record the run (trace events, per-slot profile, metrics) as a JSONL
+artifact that ``report`` — or any offline tooling — can consume; see
+docs/OBSERVABILITY.md.  All commands are deterministic given ``--seed``
+(telemetry never changes a run's outcome).
 """
 
 from __future__ import annotations
@@ -42,8 +48,34 @@ from .messaging.algorithms import (
 )
 from .messaging.model import run_uniform_rounds
 from .sinr.params import PhysicalParams
+from .telemetry import Telemetry, read_run
 
 __all__ = ["main"]
+
+
+def _telemetry_from(args: argparse.Namespace, command: str) -> Telemetry | None:
+    """A :class:`Telemetry` bundle for ``--telemetry-out``, or None."""
+    out = getattr(args, "telemetry_out", None)
+    if out is None:
+        return None
+    meta = {
+        "command": command,
+        **{
+            key: value
+            for key, value in vars(args).items()
+            if key not in ("func", "telemetry_out") and not callable(value)
+        },
+    }
+    return Telemetry(out=out, meta=meta)
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="FILE",
+        default=None,
+        help="write run telemetry (trace, per-slot profile, metrics) as JSONL",
+    )
 
 
 def _add_physics_args(parser: argparse.ArgumentParser) -> None:
@@ -98,12 +130,17 @@ def _cmd_physics(args: argparse.Namespace) -> int:
 def _cmd_color(args: argparse.Namespace) -> int:
     params = _params(args)
     deployment = _deployment(args)
+    telemetry = _telemetry_from(args, "color")
     result, auditor = run_mw_coloring_audited(
-        deployment, params, seed=args.seed, channel=args.channel
+        deployment, params, seed=args.seed, channel=args.channel,
+        telemetry=telemetry,
     )
     row = result.summary()
     row["audit_violations"] = len(auditor.violations)
     print(format_table([row], title="MW coloring run"))
+    if telemetry is not None:
+        print(f"telemetry written to {telemetry.out}"
+              f" (summarise with: python -m repro report {telemetry.out})")
     ok = result.stats.completed and result.is_proper() and auditor.clean
     return 0 if ok else 1
 
@@ -148,8 +185,10 @@ def _cmd_srs(args: argparse.Namespace) -> int:
     coloring = greedy_coloring(power_graph(graph, params.mac_distance + 1))
     schedule = TDMASchedule(coloring)
     simulated = _SRS_WORKLOADS[args.algorithm](graph.n)
+    telemetry = _telemetry_from(args, "srs")
     report = simulate_uniform_algorithm(
-        graph, simulated, schedule, params, max_rounds=args.max_rounds
+        graph, simulated, schedule, params, max_rounds=args.max_rounds,
+        telemetry=telemetry,
     )
     native = _SRS_WORKLOADS[args.algorithm](graph.n)
     native_report = run_uniform_rounds(graph, native, max_rounds=args.max_rounds)
@@ -163,27 +202,127 @@ def _cmd_srs(args: argparse.Namespace) -> int:
         "halted": report.halted,
     }
     print(format_table([row], title="Corollary 1 single-round simulation"))
+    if telemetry is not None:
+        print(f"telemetry written to {telemetry.out}"
+              f" (summarise with: python -m repro report {telemetry.out})")
     return 0 if report.exact and report.halted else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
     from .experiments import REGISTRY
 
     module = REGISTRY[args.id]
+    start = perf_counter()
     try:
         rows = module.run(seeds=range(args.seeds))
     except TypeError:
         # some experiments sweep other axes (e.g. exp10's (alpha, beta) grid)
         rows = module.run()
+    elapsed = perf_counter() - start
     print(format_table(rows, columns=module.COLUMNS, title=module.TITLE))
-    if args.no_check:
-        return 0
+    check_passed = None
+    exit_code = 0
+    if not args.no_check:
+        try:
+            module.check(rows)
+            check_passed = True
+            print("check passed")
+        except AssertionError as failure:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            check_passed = False
+            exit_code = 1
+    telemetry = _telemetry_from(args, "experiment")
+    if telemetry is not None:
+        telemetry.export(
+            "experiment",
+            rows=rows,
+            summary={
+                "experiment": args.id,
+                "title": module.TITLE,
+                "rows": len(rows),
+                "wall_s": elapsed,
+                "check_passed": check_passed,
+            },
+        )
+        print(f"telemetry written to {telemetry.out}"
+              f" (summarise with: python -m repro report {telemetry.out})")
+    return exit_code
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+
     try:
-        module.check(rows)
-    except AssertionError as failure:
-        print(f"CHECK FAILED: {failure}", file=sys.stderr)
-        return 1
-    print("check passed")
+        run = read_run(args.path)
+    except (OSError, ConfigurationError) as failure:
+        print(f"cannot read telemetry artifact: {failure}", file=sys.stderr)
+        return 2
+
+    print(f"telemetry artifact: {run.path}")
+    print(f"schema: {run.schema}   command: {run.command}")
+    if run.meta:
+        interesting = {
+            k: v for k, v in run.meta.items() if k != "command" and v is not None
+        }
+        if interesting:
+            print("meta: " + ", ".join(f"{k}={v}" for k, v in sorted(interesting.items())))
+    print()
+
+    if run.summary:
+        rows = [
+            {"quantity": key, "value": value}
+            for key, value in run.summary.items()
+            if not isinstance(value, (list, dict))
+        ]
+        print(format_table(rows, title="run summary"))
+        print()
+
+    profile = run.profile_summary()
+    if profile["slots"]:
+        rows = [
+            {
+                "section": section,
+                "seconds": profile[f"{section}_s"],
+                "share": profile[f"{section}_share"],
+            }
+            for section in ("node", "resolve", "observer")
+        ]
+        print(format_table(rows, title=(
+            f"slot-time attribution ({profile['slots']} slots, "
+            f"{profile['total_s']:.3f} s, {profile['mean_slot_us']:.1f} us/slot)"
+        )))
+        print()
+
+    if run.metrics:
+        rows = []
+        for name, snap in sorted(run.metrics.items()):
+            if snap.get("kind") == "histogram":
+                for stat in ("count", "mean", "min", "max"):
+                    rows.append(
+                        {"metric": f"{name}.{stat}", "value": snap.get(stat)}
+                    )
+            else:
+                rows.append({"metric": name, "value": snap.get("value")})
+        hit_rate = run.cache_hit_rate
+        if hit_rate is not None:
+            rows.append({"metric": "engine.cache_hit_rate", "value": hit_rate})
+        delivery = run.delivery_rate
+        if delivery is not None:
+            rows.append({"metric": "run.delivery_rate", "value": delivery})
+        print(format_table(rows, title="metrics"))
+        print()
+
+    if run.rows:
+        print(format_table(run.rows, title=f"exported rows ({len(run.rows)})"))
+        print()
+
+    stats = run.protocol_stats()
+    if stats is not None:
+        print(format_table(stats.rows(), title="protocol statistics (reset/wait)"))
+    elif run.trace is not None and len(run.trace) > 0:
+        print(f"trace: {len(run.trace)} events (no summary context for protocol stats)")
     return 0
 
 
@@ -221,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     color.add_argument(
         "--channel", choices=["sinr", "graph", "collision_free"], default="sinr"
     )
+    _add_telemetry_args(color)
     color.set_defaults(func=_cmd_color)
 
     mac = sub.add_parser("mac", help="audit TDMA schedules (Theorem 3)")
@@ -235,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", choices=sorted(_SRS_WORKLOADS), default="flooding"
     )
     srs.add_argument("--max-rounds", type=int, default=120)
+    _add_telemetry_args(srs)
     srs.set_defaults(func=_cmd_srs)
 
     estimate = sub.add_parser("estimate", help="probe degrees (unknown Delta)")
@@ -254,7 +395,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--no-check", action="store_true", help="print rows without asserting"
     )
+    _add_telemetry_args(experiment)
     experiment.set_defaults(func=_cmd_experiment)
+
+    report = sub.add_parser(
+        "report", help="summarise a telemetry JSONL artifact offline"
+    )
+    report.add_argument("path", help="artifact written via --telemetry-out")
+    report.set_defaults(func=_cmd_report)
 
     return parser
 

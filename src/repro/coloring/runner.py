@@ -30,6 +30,7 @@ from ..sinr.params import PhysicalParams
 from ..simulation.event_sim import EventSimulator
 from ..simulation.scheduler import WakeupSchedule
 from ..simulation.trace import SlotObserver, TraceRecorder
+from ..telemetry import Telemetry
 from .audit import IndependenceAuditor
 from .constants import AlgorithmConstants
 from .mw_node import MWColoringNode, MWSharedConfig
@@ -114,6 +115,7 @@ def run_mw_coloring(
     observers: Sequence[SlotObserver] = (),
     decision_listeners: Sequence[Callable[[int, int, int], None]] = (),
     half_duplex: bool = True,
+    telemetry: Telemetry | None = None,
 ) -> MWColoringResult:
     """Run the MW coloring algorithm end to end.
 
@@ -144,6 +146,13 @@ def run_mw_coloring(
         End-of-slot observers (called on active slots).
     decision_listeners:
         Callables ``(slot, node, color)`` fired at every color decision.
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` bundle.  When given, the
+        channel and simulator emit metrics into it, the slot profiler is
+        attached, tracing is forced on if ``telemetry.trace``, and —
+        if ``telemetry.out`` is set — the run is exported to JSONL
+        before returning (summarise it with ``repro report``).
+        Telemetry never alters the run: same seed, same result.
 
     Returns
     -------
@@ -165,6 +174,7 @@ def run_mw_coloring(
         observers=observers,
         decision_listeners=decision_listeners,
         half_duplex=half_duplex,
+        telemetry=telemetry,
     )
     return result
 
@@ -198,6 +208,7 @@ def _run(
     observers: Sequence[SlotObserver] = (),
     decision_listeners: Sequence[Callable[[int, int, int], None]] = (),
     half_duplex: bool = True,
+    telemetry: Telemetry | None = None,
 ) -> tuple[MWColoringResult, IndependenceAuditor | None]:
     positions = (
         deployment.positions if isinstance(deployment, Deployment) else deployment
@@ -225,11 +236,26 @@ def _run(
     if schedule is None:
         schedule = WakeupSchedule.synchronous(n)
 
+    if telemetry is not None:
+        trace = trace or telemetry.trace
+        telemetry.attach_channel(channel_obj)
+
     listeners = list(decision_listeners)
     auditor = None
     if audit_independence:
         auditor = IndependenceAuditor(positions=graph.positions, radius=graph.radius)
         listeners.append(auditor.on_decision)
+    if telemetry is not None and telemetry.metrics.enabled:
+        decisions = telemetry.metrics.counter("coloring.decisions")
+        decision_slot = telemetry.metrics.histogram("coloring.decision_slot")
+        max_color = telemetry.metrics.gauge("coloring.max_color")
+
+        def observe_decision(slot: int, node: int, color: int) -> None:
+            decisions.inc()
+            decision_slot.observe(slot)
+            max_color.set_max(color)
+
+        listeners.append(observe_decision)
 
     recorder = TraceRecorder(enabled=trace)
     shared = MWSharedConfig(
@@ -245,6 +271,8 @@ def _run(
         schedule=schedule,
         seed=seed,
         observers=list(observers),
+        metrics=telemetry.metrics if telemetry is not None else None,
+        profiler=telemetry.profiler if telemetry is not None else None,
     )
     budget = max_slots if max_slots is not None else default_max_slots(constants)
     require_int("max_slots", budget, minimum=1)
@@ -280,6 +308,8 @@ def _run(
         constants=constants,
         trace=recorder,
     )
+    if telemetry is not None and telemetry.out is not None:
+        telemetry.export_coloring(result)
     return result, auditor
 
 

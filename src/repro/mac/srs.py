@@ -28,6 +28,7 @@ from .._validation import require_in
 from ..messaging.model import GeneralAlgorithm, RoundContext, UniformAlgorithm
 from ..sinr.channel import SINRChannel, Transmission
 from ..sinr.params import PhysicalParams
+from ..telemetry import Telemetry
 from .tdma import TDMASchedule
 
 __all__ = [
@@ -72,6 +73,25 @@ class SRSReport:
         """Whether the SINR execution delivered every payload (no loss)."""
         return self.lost_deliveries == 0
 
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of owed (sender, neighbor) deliveries that decoded."""
+        if self.expected_deliveries == 0:
+            return 0.0
+        return 1.0 - self.lost_deliveries / self.expected_deliveries
+
+    def summary(self) -> dict:
+        """Flat dict of the headline numbers (telemetry/report-friendly)."""
+        return {
+            "rounds": self.rounds,
+            "slots": self.slots,
+            "frame_length": self.frame_length,
+            "halted": self.halted,
+            "expected_deliveries": self.expected_deliveries,
+            "lost_deliveries": self.lost_deliveries,
+            "delivery_rate": self.delivery_rate,
+        }
+
 
 def simulate_uniform_algorithm(
     graph: UnitDiskGraph,
@@ -79,6 +99,7 @@ def simulate_uniform_algorithm(
     schedule: TDMASchedule,
     params: PhysicalParams,
     max_rounds: int,
+    telemetry: Telemetry | None = None,
 ) -> SRSReport:
     """Run a uniform algorithm over the SINR physical layer via SRS.
 
@@ -86,6 +107,10 @@ def simulate_uniform_algorithm(
     ``schedule`` comes from a (d+1)-coloring per Theorem 3 for a lossless
     simulation.  Stops as soon as every instance halts (checked between
     frames) or after ``max_rounds`` frames.
+
+    ``telemetry`` instruments the SINR channel (resolve timings, cache
+    hit/miss — SRS is the showcase workload for the geometry cache) and,
+    with ``telemetry.out`` set, exports the run to JSONL.
     """
     require_int("max_rounds", max_rounds, minimum=0)
     if len(algorithms) != graph.n:
@@ -110,13 +135,21 @@ def simulate_uniform_algorithm(
     channel = SINRChannel(
         graph.positions, params, cache_slots=schedule.frame_length
     )
+    if telemetry is not None:
+        telemetry.attach_channel(channel)
+        rounds_counter = telemetry.metrics.counter("srs.rounds")
+        expected_counter = telemetry.metrics.counter("srs.expected_deliveries")
+        lost_counter = telemetry.metrics.counter("srs.lost_deliveries")
     expected = 0
     lost = 0
     rounds = 0
+    transmission_count = 0
+    delivery_count = 0
     for _ in range(max_rounds):
         if all(algorithm.halted for algorithm in algorithms):
             break
         rounds += 1
+        round_lost = 0
         outgoing = [algorithms[v].send(rounds - 1) for v in range(graph.n)]
         for slot in range(schedule.frame_length):
             senders = [
@@ -130,6 +163,8 @@ def simulate_uniform_algorithm(
                 Transmission(sender=s, payload=outgoing[s]) for s in senders
             ]
             deliveries = channel.resolve(transmissions)
+            transmission_count += len(transmissions)
+            delivery_count += len(deliveries)
             got = {(d.sender, d.receiver) for d in deliveries}
             for delivery in deliveries:
                 algorithms[delivery.receiver].on_receive(
@@ -140,7 +175,11 @@ def simulate_uniform_algorithm(
                     expected += 1
                     if (sender, int(neighbor)) not in got:
                         lost += 1
-    return SRSReport(
+                        round_lost += 1
+        if telemetry is not None:
+            rounds_counter.inc()
+            lost_counter.inc(round_lost)
+    report = SRSReport(
         rounds=rounds,
         slots=rounds * schedule.frame_length,
         frame_length=schedule.frame_length,
@@ -149,6 +188,19 @@ def simulate_uniform_algorithm(
         lost_deliveries=lost,
         outputs=tuple(algorithm.output() for algorithm in algorithms),
     )
+    if telemetry is not None:
+        expected_counter.inc(expected)
+        if telemetry.out is not None:
+            summary = report.summary()
+            summary.update(
+                {
+                    "n": graph.n,
+                    "transmissions": transmission_count,
+                    "deliveries": delivery_count,
+                }
+            )
+            telemetry.export("srs", summary=summary)
+    return report
 
 
 def simulate_general_algorithm(

@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -125,6 +126,8 @@ class EventSimulator:
         schedule: WakeupSchedule,
         seed: int = 0,
         observers: Sequence[SlotObserver] = (),
+        metrics=None,
+        profiler=None,
     ) -> None:
         if len(nodes) != channel.n:
             raise SimulationError(
@@ -151,6 +154,16 @@ class EventSimulator:
         self._slot = 0
         self._transmission_count = 0
         self._delivery_count = 0
+        # Telemetry is read-only over the run (no RNG, no node state) —
+        # attaching it cannot change the outcome; see the determinism test.
+        self._profiler = profiler
+        self._m_slots = None
+        self._m_transmissions = None
+        self._m_deliveries = None
+        if metrics is not None and getattr(metrics, "enabled", True):
+            self._m_slots = metrics.counter("sim.slots")
+            self._m_transmissions = metrics.counter("sim.transmissions")
+            self._m_deliveries = metrics.counter("sim.deliveries")
         for node in range(len(nodes)):
             heapq.heappush(
                 self._heap, (schedule.wake_slot(node), _KIND_WAKE, node)
@@ -270,6 +283,8 @@ class EventSimulator:
         )
 
     def _process_slot(self, slot: int) -> None:
+        profiler = self._profiler
+        t0 = perf_counter() if profiler is not None else 0.0
         wakes: list[int] = []
         timers: list[int] = []
         tx_candidates: list[int] = []
@@ -301,9 +316,13 @@ class EventSimulator:
             if payload is not None:
                 transmissions.append(Transmission(sender=node, payload=payload))
 
+        t1 = perf_counter() if profiler is not None else 0.0
         deliveries: list[Delivery] = []
+        resolve_s = 0.0
         if transmissions:
             deliveries = self._channel.resolve(transmissions)
+            if profiler is not None:
+                resolve_s = perf_counter() - t1
             # Sleeping radios are off: deliveries to not-yet-woken nodes are
             # dropped (the paper's nodes wake spontaneously, never by message).
             deliveries = [d for d in deliveries if self._awake[d.receiver]]
@@ -313,8 +332,23 @@ class EventSimulator:
                     delivery.sender,
                     delivery.payload,
                 )
+        t2 = perf_counter() if profiler is not None else 0.0
         for observer in self._observers:
             observer.on_slot_end(slot, transmissions, deliveries)
+        if profiler is not None:
+            t3 = perf_counter()
+            profiler.record_slot(
+                slot,
+                node_s=(t1 - t0) + (t2 - t1 - resolve_s),
+                resolve_s=resolve_s,
+                observer_s=t3 - t2,
+                transmissions=len(transmissions),
+                deliveries=len(deliveries),
+            )
+        if self._m_slots is not None:
+            self._m_slots.inc()
+            self._m_transmissions.inc(len(transmissions))
+            self._m_deliveries.inc(len(deliveries))
         self._transmission_count += len(transmissions)
         self._delivery_count += len(deliveries)
 

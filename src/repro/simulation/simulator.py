@@ -15,6 +15,7 @@ the slot counts experiments report.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
@@ -76,6 +77,8 @@ class SlotSimulator:
         schedule: WakeupSchedule,
         seed: int = 0,
         observers: Sequence[SlotObserver] = (),
+        metrics=None,
+        profiler=None,
     ) -> None:
         if len(nodes) != channel.n:
             raise SimulationError(
@@ -94,6 +97,17 @@ class SlotSimulator:
         self._awake = np.zeros(len(nodes), dtype=bool)
         self._transmission_count = 0
         self._delivery_count = 0
+        # Telemetry is strictly read-only over the run: a MetricsRegistry
+        # and/or SlotProfiler never touch RNG or node state, so attaching
+        # them cannot change the outcome (locked by a determinism test).
+        self._profiler = profiler
+        self._m_slots = None
+        self._m_transmissions = None
+        self._m_deliveries = None
+        if metrics is not None and getattr(metrics, "enabled", True):
+            self._m_slots = metrics.counter("sim.slots")
+            self._m_transmissions = metrics.counter("sim.transmissions")
+            self._m_deliveries = metrics.counter("sim.deliveries")
 
     # -- accessors -------------------------------------------------------------
 
@@ -134,6 +148,8 @@ class SlotSimulator:
     def step(self) -> tuple[list[Transmission], list[Delivery]]:
         """Execute exactly one slot; returns its transmissions and deliveries."""
         slot = self._slot
+        profiler = self._profiler
+        t0 = perf_counter() if profiler is not None else 0.0
 
         for node in self._schedule.waking_now(slot):
             node = int(node)
@@ -147,9 +163,11 @@ class SlotSimulator:
             if payload is not None:
                 transmissions.append(Transmission(sender=node, payload=payload))
 
+        t1 = perf_counter() if profiler is not None else 0.0
         # Silent slots skip the channel entirely — resolution cost is paid
         # only when someone actually transmits.
         deliveries = self._channel.resolve(transmissions) if transmissions else []
+        t2 = perf_counter() if profiler is not None else 0.0
         # Sleeping radios are off: deliveries to not-yet-woken nodes are
         # dropped (the paper's nodes wake spontaneously, never by message).
         if deliveries:
@@ -160,9 +178,24 @@ class SlotSimulator:
                 self._api(delivery.receiver, slot), delivery.sender, delivery.payload
             )
 
+        t3 = perf_counter() if profiler is not None else 0.0
         for observer in self._observers:
             observer.on_slot_end(slot, transmissions, deliveries)
 
+        if profiler is not None:
+            t4 = perf_counter()
+            profiler.record_slot(
+                slot,
+                node_s=(t1 - t0) + (t3 - t2),
+                resolve_s=t2 - t1,
+                observer_s=t4 - t3,
+                transmissions=len(transmissions),
+                deliveries=len(deliveries),
+            )
+        if self._m_slots is not None:
+            self._m_slots.inc()
+            self._m_transmissions.inc(len(transmissions))
+            self._m_deliveries.inc(len(deliveries))
         self._transmission_count += len(transmissions)
         self._delivery_count += len(deliveries)
         self._slot += 1

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Sequence
 
 import numpy as np
@@ -75,6 +76,12 @@ class Channel(ABC):
         self._positions = as_positions(positions)
         self._half_duplex = bool(half_duplex)
         self._engine: ResolutionEngine | None = None
+        # Telemetry handles; None until attach_metrics binds them, and
+        # resolve() then takes the uninstrumented early return.
+        self._m_resolve_seconds = None
+        self._m_resolve_calls = None
+        self._m_transmissions = None
+        self._m_deliveries = None
 
     @property
     def positions(self) -> np.ndarray:
@@ -101,9 +108,45 @@ class Channel(ABC):
     def reach(self) -> float:
         """Nominal single-hop range of the channel (the paper's ``R_T``)."""
 
-    @abstractmethod
+    def attach_metrics(self, metrics) -> None:
+        """Emit resolve-path telemetry into ``metrics`` from now on.
+
+        Binds the ``channel.*`` instruments (``resolve_seconds``
+        histogram, call/transmission/delivery counters) of a
+        :class:`~repro.telemetry.registry.MetricsRegistry` and forwards
+        to the channel's :class:`~repro.sinr.engine.ResolutionEngine`
+        if it has one.  A disabled registry is ignored, so the
+        uninstrumented fast path stays a single ``None`` check.
+        """
+        if not getattr(metrics, "enabled", True):
+            return
+        self._m_resolve_seconds = metrics.histogram("channel.resolve_seconds")
+        self._m_resolve_calls = metrics.counter("channel.resolve_calls")
+        self._m_transmissions = metrics.counter("channel.transmissions")
+        self._m_deliveries = metrics.counter("channel.deliveries")
+        if self._engine is not None:
+            self._engine.attach_metrics(metrics)
+
     def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
-        """Deliveries produced by the given simultaneous transmissions."""
+        """Deliveries produced by the given simultaneous transmissions.
+
+        Template method: interference semantics live in each subclass's
+        ``_resolve``; this wrapper adds wall-time and throughput metrics
+        when (and only when) :meth:`attach_metrics` was called.
+        """
+        if self._m_resolve_seconds is None:
+            return self._resolve(transmissions)
+        start = perf_counter()
+        deliveries = self._resolve(transmissions)
+        self._m_resolve_seconds.observe(perf_counter() - start)
+        self._m_resolve_calls.inc()
+        self._m_transmissions.inc(len(transmissions))
+        self._m_deliveries.inc(len(deliveries))
+        return deliveries
+
+    @abstractmethod
+    def _resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+        """Channel-specific resolution (see :meth:`resolve`)."""
 
     def _check_transmissions(
         self, transmissions: Sequence[Transmission]
@@ -218,7 +261,7 @@ class SINRChannel(Channel):
 
         return geometry.derive(f"sinr:{self._half_duplex}", compute)
 
-    def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+    def _resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
         senders = self._check_transmissions(transmissions)
         if senders.size == 0:
             return []
@@ -279,7 +322,7 @@ class GraphChannel(Channel):
         """Connectivity radius of the underlying unit disk graph."""
         return self._radius
 
-    def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+    def _resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
         senders = self._check_transmissions(transmissions)
         if senders.size == 0:
             return []
@@ -359,7 +402,7 @@ class ProtocolChannel(Channel):
 
         return geometry.derive(f"protocol:{self._half_duplex}", compute)
 
-    def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+    def _resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
         senders = self._check_transmissions(transmissions)
         if senders.size == 0:
             return []
@@ -409,7 +452,7 @@ class CollisionFreeChannel(Channel):
 
         return geometry.derive(f"collision_free:{self._half_duplex}", compute)
 
-    def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+    def _resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
         senders = self._check_transmissions(transmissions)
         if senders.size == 0:
             return []

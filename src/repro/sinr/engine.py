@@ -178,10 +178,30 @@ class ResolutionEngine:
         self._cache: OrderedDict[bytes, SlotGeometry] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        # Metric handles; bound by attach_metrics, None = telemetry off
+        # (the hot path then pays exactly one None check per lookup).
+        self._m_hits = None
+        self._m_misses = None
+        self._m_evals = None
         # |u|^2 terms of the Gram expansion, shared by every slot.
         self._sq_norms = np.einsum(
             "ij,ij->i", self._positions, self._positions
         )
+
+    def attach_metrics(self, metrics) -> None:
+        """Emit cache and workload counters into ``metrics``.
+
+        Binds ``engine.cache_hits``, ``engine.cache_misses`` and
+        ``engine.interference_evaluations`` (receiver x sender SINR terms
+        computed, i.e. ``n * k`` per distance-matrix build) from a
+        :class:`~repro.telemetry.registry.MetricsRegistry`.  A disabled
+        registry is ignored, keeping the unattached fast path intact.
+        """
+        if not getattr(metrics, "enabled", True):
+            return
+        self._m_hits = metrics.counter("engine.cache_hits")
+        self._m_misses = metrics.counter("engine.cache_misses")
+        self._m_evals = metrics.counter("engine.interference_evaluations")
 
     @property
     def positions(self) -> np.ndarray:
@@ -220,14 +240,20 @@ class ResolutionEngine:
         senders = np.ascontiguousarray(senders, dtype=np.intp)
         if self._cache_slots == 0:
             self._misses += 1
+            if self._m_misses is not None:
+                self._m_misses.inc()
             return SlotGeometry(senders, self._distance_sq(senders))
         key = senders.tobytes()
         cached = self._cache.get(key)
         if cached is not None:
             self._hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             self._cache.move_to_end(key)
             return cached
         self._misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
         geometry = SlotGeometry(senders, self._distance_sq(senders))
         self._cache[key] = geometry
         if len(self._cache) > self._cache_slots:
@@ -249,6 +275,8 @@ class ResolutionEngine:
         dist_sq += self._sq_norms[:, None]
         dist_sq += self._sq_norms[senders][None, :]
         np.maximum(dist_sq, 0.0, out=dist_sq)
+        if self._m_evals is not None:
+            self._m_evals.inc(dist_sq.size)
         return dist_sq
 
     def distances(self, senders: np.ndarray) -> np.ndarray:

@@ -36,6 +36,7 @@ class LossyChannel(Channel):
         self._rng = np.random.default_rng(seed)
         self._dropped = 0
         self._passed = 0
+        self._m_dropped = None
 
     @property
     def inner(self) -> Channel:
@@ -62,13 +63,31 @@ class LossyChannel(Channel):
         """Deliveries that survived so far."""
         return self._passed
 
-    def resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
+    def attach_metrics(self, metrics) -> None:
+        """Instrument the wrapper and the wrapped channel's engine.
+
+        The inner channel's ``resolve`` wrapper is deliberately *not*
+        instrumented — the lossy resolve time includes it, and stacking
+        both would double-count into ``channel.resolve_seconds``.
+        """
+        super().attach_metrics(metrics)
+        if not getattr(metrics, "enabled", True):
+            return
+        self._m_dropped = metrics.counter("channel.dropped_deliveries")
+        inner_engine = self._inner.engine
+        if inner_engine is not None:
+            inner_engine.attach_metrics(metrics)
+
+    def _resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
         deliveries = self._inner.resolve(transmissions)
         if not deliveries or self._drop == 0.0:
             self._passed += len(deliveries)
             return deliveries
         keep_mask = self._rng.random(len(deliveries)) >= self._drop
         kept = [d for d, keep in zip(deliveries, keep_mask) if keep]
-        self._dropped += len(deliveries) - len(kept)
+        dropped = len(deliveries) - len(kept)
+        self._dropped += dropped
         self._passed += len(kept)
+        if self._m_dropped is not None:
+            self._m_dropped.inc(dropped)
         return kept

@@ -1,0 +1,83 @@
+"""Unit tests for the per-slot wall-time profiler."""
+
+import pytest
+
+from repro.telemetry import SlotProfiler
+
+
+def feed(profiler, slots=4):
+    for slot in range(slots):
+        profiler.record_slot(
+            slot,
+            node_s=0.001,
+            resolve_s=0.003,
+            observer_s=0.0005,
+            transmissions=2,
+            deliveries=3,
+        )
+
+
+class TestAggregation:
+    def test_totals(self):
+        profiler = SlotProfiler()
+        feed(profiler)
+        assert profiler.slots == 4
+        assert profiler.node_s == pytest.approx(0.004)
+        assert profiler.resolve_s == pytest.approx(0.012)
+        assert profiler.transmissions == 8
+        assert profiler.deliveries == 12
+
+    def test_summary_shares_sum_to_one(self):
+        profiler = SlotProfiler()
+        feed(profiler)
+        summary = profiler.summary()
+        shares = (
+            summary["node_share"]
+            + summary["resolve_share"]
+            + summary["observer_share"]
+        )
+        assert shares == pytest.approx(1.0)
+        assert summary["resolve_share"] == pytest.approx(0.003 / 0.0045)
+
+    def test_empty_summary_is_all_zero(self):
+        summary = SlotProfiler().summary()
+        assert summary["slots"] == 0
+        assert summary["total_s"] == 0.0
+        assert summary["resolve_share"] == 0.0
+        assert summary["mean_slot_us"] == 0.0
+
+    def test_rows_cover_sections_and_total(self):
+        profiler = SlotProfiler()
+        feed(profiler)
+        sections = [row["section"] for row in profiler.rows()]
+        assert sections == [
+            "node callbacks", "channel resolve", "observers", "total",
+        ]
+
+
+class TestRetention:
+    def test_unbounded_keeps_every_slot(self):
+        profiler = SlotProfiler()
+        feed(profiler, slots=10)
+        assert len(profiler.records) == 10
+        assert profiler.truncated == 0
+
+    def test_max_records_caps_retention_not_aggregates(self):
+        profiler = SlotProfiler(max_records=3)
+        feed(profiler, slots=10)
+        assert len(profiler.records) == 3
+        assert profiler.truncated == 7
+        assert profiler.slots == 10  # aggregates keep counting
+
+    def test_negative_max_records_rejected(self):
+        with pytest.raises(ValueError):
+            SlotProfiler(max_records=-1)
+
+    def test_record_round_trips_as_dict(self):
+        profiler = SlotProfiler()
+        feed(profiler, slots=1)
+        record = profiler.records[0].as_record()
+        assert record == {
+            "slot": 0, "node_s": 0.001, "resolve_s": 0.003,
+            "observer_s": 0.0005, "tx": 2, "rx": 3,
+        }

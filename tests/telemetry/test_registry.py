@@ -1,0 +1,106 @@
+"""Unit tests for the metric primitives and the registry."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.registry import NULL_METRIC, Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_snapshot(self):
+        counter = Counter("x")
+        counter.inc(3)
+        assert counter.snapshot() == {"kind": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(4.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+    def test_set_max_keeps_running_maximum(self):
+        gauge = Gauge("g")
+        gauge.set_max(3)
+        gauge.set_max(1)
+        gauge.set_max(7)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        hist = Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(6.0)
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.vmin == 1.0
+        assert hist.vmax == 3.0
+
+    def test_bucket_counts_sum_to_count(self):
+        hist = Histogram("h")
+        for value in (1e-7, 3e-4, 0.02, 5.0, 1e4):
+            hist.observe(value)
+        assert sum(hist.counts) == hist.count == 5
+
+    def test_empty_snapshot_has_null_extrema(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+
+class TestRegistry:
+    def test_same_name_returns_same_handle(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a")
+
+    def test_snapshot_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc()
+        assert list(registry.snapshot()) == ["a", "z"]
+
+    def test_rows_expand_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(2.0)
+        names = [row["metric"] for row in registry.rows()]
+        assert names == ["h.count", "h.mean", "h.min", "h.max"]
+
+
+class TestDisabledRegistry:
+    def test_factories_return_shared_null_metric(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a") is NULL_METRIC
+        assert registry.gauge("b") is NULL_METRIC
+        assert registry.histogram("c") is NULL_METRIC
+
+    def test_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("a").inc(100)
+        registry.gauge("b").set_max(5)
+        registry.histogram("c").observe(1.0)
+        assert registry.snapshot() == {}
+        assert len(registry) == 0
+
+    def test_null_metric_is_inert(self):
+        NULL_METRIC.inc()
+        NULL_METRIC.set(1.0)
+        NULL_METRIC.set_max(2.0)
+        NULL_METRIC.observe(3.0)
+        assert NULL_METRIC.value == 0.0
+        assert NULL_METRIC.snapshot() == {}

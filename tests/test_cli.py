@@ -72,6 +72,47 @@ class TestEstimate:
         assert "true_delta" in out
 
 
+class TestTelemetry:
+    def test_color_writes_artifact_and_report_reads_it(self, capsys, tmp_path):
+        out = tmp_path / "run.jsonl"
+        code = main(
+            ["color", "--n", "40", "--extent", "5", "--seed", "1",
+             "--telemetry-out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "telemetry written to" in capsys.readouterr().out
+
+        assert main(["report", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "run summary" in report
+        assert "slot-time attribution" in report
+        assert "engine.cache_hit_rate" in report
+        assert "protocol statistics" in report
+        assert "resets_total" in report
+
+    def test_srs_writes_artifact(self, capsys, tmp_path):
+        out = tmp_path / "srs.jsonl"
+        code = main(
+            ["srs", "--n", "30", "--extent", "4", "--seed", "5",
+             "--telemetry-out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert main(["report", str(out)]) == 0
+        assert "srs.rounds" in capsys.readouterr().out
+
+    def test_report_rejects_missing_file(self, capsys, tmp_path):
+        code = main(["report", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "cannot read telemetry artifact" in capsys.readouterr().err
+
+    def test_report_rejects_non_telemetry_file(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"not": "a header"}\n')
+        assert main(["report", str(bogus)]) == 2
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

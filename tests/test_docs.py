@@ -1,0 +1,29 @@
+"""Docs hygiene: local references in the markdown docs must resolve."""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_local_doc_references_resolve():
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+
+def test_expected_docs_exist():
+    for name in (
+        "README.md",
+        "docs/API.md",
+        "docs/OBSERVABILITY.md",
+        "docs/PERFORMANCE.md",
+        "docs/ALGORITHM.md",
+        "docs/MODEL.md",
+    ):
+        assert (REPO_ROOT / name).exists(), f"missing {name}"
