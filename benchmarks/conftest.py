@@ -9,6 +9,7 @@ reports wall-clock cost.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -17,6 +18,11 @@ from repro import PhysicalParams
 from repro.analysis.tables import format_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# REPRO_BENCH_JOBS=N routes bench sweeps through the orchestration layer
+# (N worker processes); unset or 1 keeps the serial run() path.  Rows are
+# identical either way — see docs/ORCHESTRATION.md.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
@@ -38,6 +44,29 @@ def emit_table():
         return text
 
     return emit
+
+
+@pytest.fixture(scope="session")
+def sweep_rows():
+    """Run an experiment sweep, sharded across REPRO_BENCH_JOBS workers.
+
+    With the default of one job this is exactly ``module.run(**kwargs)``;
+    with more it dispatches the same unit list through ``run_sharded`` and
+    returns the merged rows, which the determinism contract guarantees to
+    be identical.
+    """
+
+    def run(module, experiment: str, **unit_kwargs):
+        if BENCH_JOBS <= 1:
+            return module.run(**unit_kwargs)
+        from repro.orchestration import merged_rows, run_sharded
+
+        result = run_sharded(
+            experiment, jobs=BENCH_JOBS, unit_kwargs=unit_kwargs
+        )
+        return merged_rows(result)
+
+    return run
 
 
 def once(benchmark, fn, *args, **kwargs):

@@ -11,8 +11,8 @@ from repro.analysis.metrics import aggregate_rows
 from repro.experiments import exp01_colors_vs_delta as exp
 
 
-def test_exp1_colors_vs_delta(benchmark, emit_table):
-    rows = exp.run(seeds=[0, 1], extents=exp.DEFAULT_EXTENTS[:-1])
+def test_exp1_colors_vs_delta(benchmark, emit_table, sweep_rows):
+    rows = sweep_rows(exp, "exp1", seeds=[0, 1], extents=exp.DEFAULT_EXTENTS[:-1])
     rows.append(once(benchmark, exp.run_single, 0, exp.DEFAULT_EXTENTS[-1]))
     table = aggregate_rows(
         rows,

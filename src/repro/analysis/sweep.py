@@ -4,16 +4,42 @@ Experiments are grids of configurations crossed with seeds; :func:`sweep`
 runs a row-producing function over the full cross product and collects the
 rows.  Keeping this in the library (rather than ad hoc loops in each bench)
 makes every experiment's iteration order, seeding and row format uniform.
+
+:func:`enumerate_combos` is the single source of truth for that iteration
+order: the serial :func:`sweep` loop and the shard planner in
+:mod:`repro.orchestration` both consume it, which is what guarantees a
+parallel sweep merges back into a row-for-row identical table.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Iterator, Mapping
 
 from ..errors import ConfigurationError
 
-__all__ = ["sweep"]
+__all__ = ["enumerate_combos", "sweep"]
+
+
+def enumerate_combos(
+    grid: Mapping[str, Iterable],
+    seeds: Iterable[int] = (0,),
+) -> Iterator[tuple[dict, int]]:
+    """Yield ``(combo, seed)`` pairs in the canonical sweep order.
+
+    The order is the row-major cross product of the grid axes (axes in
+    ``grid``'s own key order, each axis in its given element order) with
+    the seed loop innermost — exactly the order :func:`sweep` has always
+    used.  An empty grid yields one empty combo per seed, so seed-only
+    sweeps enumerate through the same path.
+
+    Each yielded ``combo`` is a fresh dict, safe to mutate.
+    """
+    keys = list(grid.keys())
+    axes = [list(grid[k]) for k in keys]
+    for combo in itertools.product(*axes):
+        for seed in seeds:
+            yield dict(zip(keys, combo)), seed
 
 
 def sweep(
@@ -30,22 +56,19 @@ def sweep(
     """
     if not grid:
         raise ConfigurationError("sweep grid must have at least one axis")
-    keys = list(grid.keys())
-    axes = [list(grid[k]) for k in keys]
+    seeds = list(seeds)
     rows: list[dict] = []
-    for combo in itertools.product(*axes):
-        for seed in seeds:
-            kwargs = dict(zip(keys, combo))
-            if progress is not None:
-                progress(f"{kwargs} seed={seed}")
-            produced = run(seed=seed, **kwargs)
-            if produced is None:
-                continue
-            if isinstance(produced, dict):
-                produced = [produced]
-            for row in produced:
-                annotated = dict(zip(keys, combo))
-                annotated["seed"] = seed
-                annotated.update(row)
-                rows.append(annotated)
+    for combo, seed in enumerate_combos(grid, seeds):
+        if progress is not None:
+            progress(f"{combo} seed={seed}")
+        produced = run(seed=seed, **combo)
+        if produced is None:
+            continue
+        if isinstance(produced, dict):
+            produced = [produced]
+        for row in produced:
+            annotated = dict(combo)
+            annotated["seed"] = seed
+            annotated.update(row)
+            rows.append(annotated)
     return rows

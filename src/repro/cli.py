@@ -11,7 +11,12 @@ The subcommands expose the library's main flows without writing code:
 * ``srs``      — simulate a uniform message-passing algorithm over the
   SINR MAC layer (Corollary 1) and compare against the reference run.
 * ``estimate`` — run the degree-probing protocol (unknown-Delta extension).
-* ``experiment`` — run a registered EXP-1..EXP-13 claim validation.
+* ``experiment`` — run a registered EXP-1..EXP-13 claim validation
+  (``--jobs``/``--store``/``--resume`` route it through the parallel
+  orchestrator).
+* ``sweep``    — the full orchestration surface: sharded multi-process
+  sweeps with a persistent run store, per-shard timeout and retry,
+  graceful Ctrl-C drain and ``--resume`` (see docs/ORCHESTRATION.md).
 * ``report``   — summarise a telemetry JSONL artifact offline.
 
 ``color``, ``srs`` and ``experiment`` take ``--telemetry-out FILE`` to
@@ -27,6 +32,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from . import __version__
 from .analysis.tables import format_table
 from .coloring.baselines import greedy_coloring
 from .coloring.estimation import estimate_degrees
@@ -67,6 +73,21 @@ def _telemetry_from(args: argparse.Namespace, command: str) -> Telemetry | None:
         },
     }
     return Telemetry(out=out, meta=meta)
+
+
+def _add_orchestration_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sharded parallel path",
+    )
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="run-store directory; completed shards persist here",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip shards already persisted in --store",
+    )
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -208,10 +229,93 @@ def _cmd_srs(args: argparse.Namespace) -> int:
     return 0 if report.exact and report.halted else 1
 
 
+def _run_orchestrated(args: argparse.Namespace) -> int:
+    """Shared parallel path for ``sweep`` and orchestrated ``experiment``.
+
+    Runs the sweep sharded over a process pool, merges the shards back in
+    canonical order (row-for-row identical to the serial run), applies
+    the experiment's ``check()`` and optionally writes one merged
+    telemetry artifact.  Exit codes: 0 ok, 1 check failure or shard
+    failures, 130 interrupted (resumable via ``--resume``).
+    """
+    from .experiments import REGISTRY
+    from .orchestration import (
+        RunStore,
+        merged_rows,
+        run_sharded,
+        write_merged_artifact,
+    )
+
+    module = REGISTRY[args.id]
+    store = RunStore(args.store) if args.store else None
+    result = run_sharded(
+        args.id,
+        jobs=args.jobs,
+        shard_size=getattr(args, "shard_size", 1),
+        unit_kwargs={"seeds": range(args.seeds)},
+        store=store,
+        resume=args.resume,
+        timeout_s=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", 1),
+        progress=lambda message: print(message, file=sys.stderr),
+        install_sigint=True,
+    )
+    if result.interrupted:
+        print("sweep interrupted; finish it with --resume", file=sys.stderr)
+        return 130
+    if result.failures:
+        for failure in result.failures:
+            print(
+                f"shard {failure['shard']} failed after "
+                f"{failure['attempts']} attempt(s): {failure['error']}",
+                file=sys.stderr,
+            )
+        return 1
+
+    rows = merged_rows(result)
+    print(format_table(rows, columns=module.COLUMNS, title=module.TITLE))
+    summary = result.summary()
+    print(
+        f"{summary['shards']} shards over {summary['jobs']} jobs in "
+        f"{summary['wall_s']:.2f}s "
+        f"({summary['shards_resumed']} resumed, "
+        f"{summary['shard_wall_s']:.2f}s of shard work)"
+    )
+    exit_code = 0
+    if not args.no_check:
+        try:
+            module.check(rows)
+            print("check passed")
+        except AssertionError as failure:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            exit_code = 1
+    out = getattr(args, "telemetry_out", None)
+    if out is not None:
+        meta = {
+            "command": "sweep",
+            **{
+                key: value
+                for key, value in vars(args).items()
+                if key not in ("func", "telemetry_out") and not callable(value)
+            },
+        }
+        write_merged_artifact(out, result, store=store, meta=meta)
+        print(f"telemetry written to {out}"
+              f" (summarise with: python -m repro report {out})")
+    return exit_code
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    return _run_orchestrated(args)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from time import perf_counter
 
     from .experiments import REGISTRY
+
+    if args.jobs > 1 or args.store or args.resume:
+        return _run_orchestrated(args)
 
     module = REGISTRY[args.id]
     start = perf_counter()
@@ -348,6 +452,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Distributed node coloring in the SINR model (ICDCS 2010)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     physics = sub.add_parser("physics", help="derived geometry for given constants")
@@ -395,8 +502,43 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--no-check", action="store_true", help="print rows without asserting"
     )
+    _add_orchestration_args(experiment)
     _add_telemetry_args(experiment)
     experiment.set_defaults(func=_cmd_experiment)
+
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="run an experiment as a sharded, resumable parallel sweep",
+        description=(
+            "Shard the experiment's grid x seeds sweep over a process pool. "
+            "Rows merge back in canonical order — the table is row-for-row "
+            "identical to the serial run. With --store, completed shards "
+            "persist on disk and --resume skips them after an interrupt; "
+            "Ctrl-C drains in-flight shards before exiting (exit code 130)."
+        ),
+    )
+    sweep_cmd.add_argument("id", choices=sorted(REGISTRY))
+    sweep_cmd.add_argument(
+        "--seeds", type=int, default=2, help="number of seeds (0..seeds-1)"
+    )
+    sweep_cmd.add_argument(
+        "--no-check", action="store_true", help="print rows without asserting"
+    )
+    _add_orchestration_args(sweep_cmd)
+    sweep_cmd.add_argument(
+        "--shard-size", type=int, default=1, metavar="UNITS",
+        help="units per shard (1 = finest resume granularity)",
+    )
+    sweep_cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock budget (timed-out shards retry)",
+    )
+    sweep_cmd.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="extra attempts per failed shard before recording the failure",
+    )
+    _add_telemetry_args(sweep_cmd)
+    sweep_cmd.set_defaults(func=_cmd_sweep)
 
     report = sub.add_parser(
         "report", help="summarise a telemetry JSONL artifact offline"

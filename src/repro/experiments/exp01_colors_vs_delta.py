@@ -12,6 +12,7 @@ from typing import Sequence
 from ..coloring.runner import run_mw_coloring
 from ..geometry.deployment import uniform_deployment
 from .._validation import require_int
+from ._units import grid_units, run_units
 
 TITLE = "EXP-1: palette size vs Delta (Theorem 2, O(Delta) colors)"
 COLUMNS = [
@@ -21,7 +22,7 @@ COLUMNS = [
 DEFAULT_EXTENTS = (9.0, 6.5, 5.0, 4.2)
 DEFAULT_N = 100
 
-__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single"]
+__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(seed: int, extent: float, n: int = DEFAULT_N) -> dict:
@@ -43,15 +44,22 @@ def run_single(seed: int, extent: float, n: int = DEFAULT_N) -> dict:
     }
 
 
+def units(
+    seeds: Sequence[int] = (0, 1),
+    extents: Sequence[float] = DEFAULT_EXTENTS,
+    n: int = DEFAULT_N,
+) -> list[dict]:
+    """Shardable work units, in canonical ``run()`` row order."""
+    return grid_units("run_single", {"extent": extents}, seeds, n=n)
+
+
 def run(
     seeds: Sequence[int] = (0, 1),
     extents: Sequence[float] = DEFAULT_EXTENTS,
     n: int = DEFAULT_N,
 ) -> list[dict]:
     """The full density sweep."""
-    return [
-        run_single(seed, extent, n) for extent in extents for seed in seeds
-    ]
+    return run_units(__name__, units(seeds, extents, n))
 
 
 def check(rows: Sequence[dict]) -> None:

@@ -13,6 +13,7 @@ from ..analysis.metrics import fit_shape
 from ..analysis.theory import time_bound_shape
 from ..coloring.runner import run_mw_coloring
 from ..geometry.deployment import uniform_deployment
+from ._units import grid_units, run_units
 
 TITLE_VS_N = "EXP-2a: slots vs n at constant density (Theorem 2, ln n factor)"
 TITLE_VS_DELTA = "EXP-2b: slots vs Delta at fixed n (Theorem 2, Delta factor)"
@@ -29,6 +30,7 @@ __all__ = [
     "run",
     "run_single",
     "run_single_fixed_n",
+    "units",
 ]
 
 
@@ -67,15 +69,24 @@ def run_single_fixed_n(seed: int, extent: float, n: int = 100) -> dict:
     }
 
 
+def units(
+    seeds: Sequence[int] = (0, 1),
+    ns: Sequence[int] = (50, 100, 200),
+    extents: Sequence[float] = (9.0, 6.5, 5.0),
+) -> list[dict]:
+    """Shardable work units, in canonical ``run()`` row order."""
+    return grid_units("run_single", {"n": ns}, seeds) + grid_units(
+        "run_single_fixed_n", {"extent": extents}, seeds
+    )
+
+
 def run(
     seeds: Sequence[int] = (0, 1),
     ns: Sequence[int] = (50, 100, 200),
     extents: Sequence[float] = (9.0, 6.5, 5.0),
 ) -> list[dict]:
     """Both sweeps; rows carry either an ``n`` or an ``extent`` column."""
-    rows = [run_single(seed, n) for n in ns for seed in seeds]
-    rows += [run_single_fixed_n(seed, extent) for extent in extents for seed in seeds]
-    return rows
+    return run_units(__name__, units(seeds, ns, extents))
 
 
 def check(rows: Sequence[dict]) -> None:

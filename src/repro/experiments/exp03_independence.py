@@ -12,6 +12,7 @@ from typing import Sequence
 from .._validation import require_in
 from ..coloring.runner import run_mw_coloring_audited
 from ..geometry.deployment import clustered_deployment, uniform_deployment
+from ._units import grid_units, run_units
 
 TITLE = "EXP-3: Theorem 1 independence audit (violations per run)"
 COLUMNS = [
@@ -20,7 +21,7 @@ COLUMNS = [
 ]
 FAMILIES = ("uniform", "clustered")
 
-__all__ = ["COLUMNS", "FAMILIES", "TITLE", "check", "run", "run_single"]
+__all__ = ["COLUMNS", "FAMILIES", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(seed: int, family: str) -> dict:
@@ -47,12 +48,20 @@ def run_single(seed: int, family: str) -> dict:
     }
 
 
+def units(
+    seeds: Sequence[int] = (0, 1, 2),
+    families: Sequence[str] = FAMILIES,
+) -> list[dict]:
+    """Shardable work units, in canonical ``run()`` row order."""
+    return grid_units("run_single", {"family": families}, seeds)
+
+
 def run(
     seeds: Sequence[int] = (0, 1, 2),
     families: Sequence[str] = FAMILIES,
 ) -> list[dict]:
     """The full family x seed sweep."""
-    return [run_single(seed, family) for family in families for seed in seeds]
+    return run_units(__name__, units(seeds, families))
 
 
 def check(rows: Sequence[dict]) -> None:

@@ -15,6 +15,7 @@ from ..coloring.runner import run_mw_coloring
 from ..geometry.deployment import uniform_deployment
 from ..sinr.interference import InterferenceMeter
 from ..sinr.params import PhysicalParams
+from ._units import grid_units, run_units
 
 TITLE = "EXP-4: out-of-boundary interference vs Lemma 3 bound"
 COLUMNS = [
@@ -23,7 +24,7 @@ COLUMNS = [
 ]
 DEFAULT_BOUNDARIES = (2.0, 4.0, 8.0)
 
-__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single"]
+__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single", "units"]
 
 
 class _MeterBank:
@@ -75,14 +76,18 @@ def run_single(
     ]
 
 
+def units(
+    seeds: Sequence[int] = (0, 1), params: PhysicalParams | None = None
+) -> list[dict]:
+    """Shardable work units, in canonical ``run()`` row order."""
+    return grid_units("run_single", {}, seeds, params=params)
+
+
 def run(
     seeds: Sequence[int] = (0, 1), params: PhysicalParams | None = None
 ) -> list[dict]:
     """The full seed sweep."""
-    rows: list[dict] = []
-    for seed in seeds:
-        rows.extend(run_single(seed, params))
-    return rows
+    return run_units(__name__, units(seeds, params))
 
 
 def check(rows: Sequence[dict]) -> None:

@@ -18,6 +18,7 @@ from ..mac.aloha import run_slotted_aloha
 from ..mac.tdma import TDMASchedule
 from ..mac.verify import verify_tdma_broadcast
 from ..sinr.params import PhysicalParams
+from ._units import grid_units, run_units
 
 TITLE = "EXP-5: TDMA audit (Theorem 3)"
 COLUMNS = [
@@ -27,7 +28,7 @@ COLUMNS = [
 DEFAULT_N = 130
 DEFAULT_EXTENT = 7.0
 
-__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single"]
+__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single", "units"]
 
 
 def _audit_distance(graph, params, k: float) -> dict:
@@ -77,14 +78,18 @@ def run_single(
     return rows
 
 
+def units(
+    seeds: Sequence[int] = (0, 1), params: PhysicalParams | None = None
+) -> list[dict]:
+    """Shardable work units, in canonical ``run()`` row order."""
+    return grid_units("run_single", {}, seeds, params=params)
+
+
 def run(
     seeds: Sequence[int] = (0, 1), params: PhysicalParams | None = None
 ) -> list[dict]:
     """The full seed sweep (rows for every scheme and seed)."""
-    rows: list[dict] = []
-    for seed in seeds:
-        rows.extend(run_single(seed, params))
-    return rows
+    return run_units(__name__, units(seeds, params))
 
 
 def check(rows: Sequence[dict]) -> None:

@@ -23,6 +23,7 @@ from ..messaging.algorithms import (
 )
 from ..messaging.model import run_uniform_rounds
 from ..sinr.params import PhysicalParams
+from ._units import grid_units, run_units
 
 TITLE = "EXP-6: single-round simulation under SINR (Corollary 1)"
 COLUMNS = [
@@ -35,7 +36,7 @@ ALGORITHMS = {
     "leader-election": lambda n: [MaxIdLeaderElection(rounds=25) for _ in range(n)],
 }
 
-__all__ = ["ALGORITHMS", "COLUMNS", "TITLE", "check", "run", "run_single"]
+__all__ = ["ALGORITHMS", "COLUMNS", "TITLE", "check", "run", "run_single", "units"]
 
 
 def _outputs_equivalent(algorithm, graph, simulated, native) -> bool:
@@ -99,19 +100,22 @@ def run_single(
     }
 
 
+def units(
+    seeds: Sequence[int] = (0,),
+    algorithms: Sequence[str] = tuple(ALGORITHMS),
+    params: PhysicalParams | None = None,
+) -> list[dict]:
+    """Shardable work units, in canonical ``run()`` row order."""
+    return grid_units("run_single", {"algorithm": algorithms}, seeds, params=params)
+
+
 def run(
     seeds: Sequence[int] = (0,),
     algorithms: Sequence[str] = tuple(ALGORITHMS),
     params: PhysicalParams | None = None,
 ) -> list[dict]:
     """The full algorithm x seed grid (disconnected seeds skipped)."""
-    rows = []
-    for algorithm in algorithms:
-        for seed in seeds:
-            row = run_single(seed, algorithm, params)
-            if row is not None:
-                rows.append(row)
-    return rows
+    return run_units(__name__, units(seeds, algorithms, params))
 
 
 def check(rows: Sequence[dict]) -> None:

@@ -15,6 +15,7 @@ from ..geometry.deployment import uniform_deployment
 from ..graphs.power import power_graph
 from ..graphs.udg import UnitDiskGraph
 from ..sinr.params import PhysicalParams
+from ._units import grid_units, run_units
 
 TITLE = "EXP-7: palette reduction to Delta+1 over SINR (Section V)"
 COLUMNS = [
@@ -22,7 +23,7 @@ COLUMNS = [
     "delta_plus_1", "slots", "lost", "proper",
 ]
 
-__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single"]
+__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(seed: int, params: PhysicalParams | None = None) -> dict:
@@ -46,11 +47,18 @@ def run_single(seed: int, params: PhysicalParams | None = None) -> dict:
     }
 
 
+def units(
+    seeds: Sequence[int] = (0, 1, 2), params: PhysicalParams | None = None
+) -> list[dict]:
+    """Shardable work units, in canonical ``run()`` row order."""
+    return grid_units("run_single", {}, seeds, params=params)
+
+
 def run(
     seeds: Sequence[int] = (0, 1, 2), params: PhysicalParams | None = None
 ) -> list[dict]:
     """The full seed sweep."""
-    return [run_single(seed, params) for seed in seeds]
+    return run_units(__name__, units(seeds, params))
 
 
 def check(rows: Sequence[dict]) -> None:

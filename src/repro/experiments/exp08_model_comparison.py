@@ -12,6 +12,7 @@ from typing import Sequence
 from .._validation import require_in
 from ..coloring.runner import run_mw_coloring_audited
 from ..geometry.deployment import uniform_deployment
+from ._units import grid_units, run_units
 
 TITLE = "EXP-8: same MW algorithm, SINR vs graph-based channel"
 COLUMNS = [
@@ -20,7 +21,7 @@ COLUMNS = [
 ]
 CHANNELS = ("sinr", "graph")
 
-__all__ = ["CHANNELS", "COLUMNS", "TITLE", "check", "run", "run_single"]
+__all__ = ["CHANNELS", "COLUMNS", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(seed: int, channel: str) -> dict:
@@ -44,11 +45,18 @@ def run_single(seed: int, channel: str) -> dict:
     }
 
 
+def units(
+    seeds: Sequence[int] = (0, 1, 2), channels: Sequence[str] = CHANNELS
+) -> list[dict]:
+    """Shardable work units, in canonical ``run()`` row order."""
+    return grid_units("run_single", {"channel": channels}, seeds)
+
+
 def run(
     seeds: Sequence[int] = (0, 1, 2), channels: Sequence[str] = CHANNELS
 ) -> list[dict]:
     """The full channel x seed grid."""
-    return [run_single(seed, channel) for channel in channels for seed in seeds]
+    return run_units(__name__, units(seeds, channels))
 
 
 def check(rows: Sequence[dict]) -> None:

@@ -13,12 +13,13 @@ from ..geometry.deployment import uniform_deployment
 from ..sinr.channel import SINRChannel
 from ..sinr.lossy import LossyChannel
 from ..sinr.params import PhysicalParams
+from ._units import grid_units, run_units
 
 TITLE = "EXP-11: MW under injected Bernoulli loss (extension)"
 COLUMNS = ["drop", "seed", "slots", "proper", "clean", "completed", "ok", "dropped"]
 DEFAULT_DROPS = (0.0, 0.15, 0.3, 0.45)
 
-__all__ = ["COLUMNS", "DEFAULT_DROPS", "TITLE", "check", "run", "run_single"]
+__all__ = ["COLUMNS", "DEFAULT_DROPS", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(
@@ -46,13 +47,22 @@ def run_single(
     }
 
 
+def units(
+    seeds: Sequence[int] = (0, 1),
+    drops: Sequence[float] = DEFAULT_DROPS,
+    params: PhysicalParams | None = None,
+) -> list[dict]:
+    """Shardable work units, in canonical ``run()`` row order."""
+    return grid_units("run_single", {"drop": drops}, seeds, params=params)
+
+
 def run(
     seeds: Sequence[int] = (0, 1),
     drops: Sequence[float] = DEFAULT_DROPS,
     params: PhysicalParams | None = None,
 ) -> list[dict]:
     """The full drop x seed grid."""
-    return [run_single(seed, drop, params) for drop in drops for seed in seeds]
+    return run_units(__name__, units(seeds, drops, params))
 
 
 def check(rows: Sequence[dict]) -> None:

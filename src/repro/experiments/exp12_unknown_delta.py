@@ -14,6 +14,7 @@ from ..coloring.runner import run_mw_coloring_audited
 from ..geometry.deployment import uniform_deployment
 from ..graphs.udg import UnitDiskGraph
 from ..sinr.params import PhysicalParams
+from ._units import grid_units, run_units
 
 TITLE = "EXP-12: coloring with probed Delta (unknown-Delta extension)"
 COLUMNS = [
@@ -21,7 +22,7 @@ COLUMNS = [
     "unknown_slots", "overhead", "proper", "completed", "bracketed",
 ]
 
-__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single"]
+__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(seed: int, params: PhysicalParams | None = None) -> dict:
@@ -50,11 +51,18 @@ def run_single(seed: int, params: PhysicalParams | None = None) -> dict:
     }
 
 
+def units(
+    seeds: Sequence[int] = (0, 1, 2), params: PhysicalParams | None = None
+) -> list[dict]:
+    """Shardable work units, in canonical ``run()`` row order."""
+    return grid_units("run_single", {}, seeds, params=params)
+
+
 def run(
     seeds: Sequence[int] = (0, 1, 2), params: PhysicalParams | None = None
 ) -> list[dict]:
     """The full seed sweep."""
-    return [run_single(seed, params) for seed in seeds]
+    return run_units(__name__, units(seeds, params))
 
 
 def check(rows: Sequence[dict]) -> None:

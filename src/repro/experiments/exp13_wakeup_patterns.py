@@ -16,6 +16,7 @@ from ..coloring.runner import run_mw_coloring_audited
 from ..geometry.deployment import uniform_deployment
 from ..simulation.scheduler import WakeupSchedule
 from ..sinr.params import PhysicalParams
+from ._units import grid_units, run_units
 
 TITLE = "EXP-13: asynchronous wake-up (per-node time vs makespan)"
 COLUMNS = [
@@ -25,7 +26,7 @@ COLUMNS = [
 PATTERNS = ("synchronous", "random", "staggered")
 DEFAULT_N = 80
 
-__all__ = ["COLUMNS", "PATTERNS", "TITLE", "check", "run", "run_single"]
+__all__ = ["COLUMNS", "PATTERNS", "TITLE", "check", "run", "run_single", "units"]
 
 
 def _make_schedule(pattern: str, n: int, seed: int) -> WakeupSchedule:
@@ -64,15 +65,22 @@ def run_single(
     }
 
 
+def units(
+    seeds: Sequence[int] = (0, 1),
+    patterns: Sequence[str] = PATTERNS,
+    params: PhysicalParams | None = None,
+) -> list[dict]:
+    """Shardable work units, in canonical ``run()`` row order."""
+    return grid_units("run_single", {"pattern": patterns}, seeds, params=params)
+
+
 def run(
     seeds: Sequence[int] = (0, 1),
     patterns: Sequence[str] = PATTERNS,
     params: PhysicalParams | None = None,
 ) -> list[dict]:
     """The full pattern x seed grid."""
-    return [
-        run_single(seed, pattern, params) for pattern in patterns for seed in seeds
-    ]
+    return run_units(__name__, units(seeds, patterns, params))
 
 
 def check(rows: Sequence[dict]) -> None:

@@ -1,0 +1,86 @@
+"""Merging shard results back into one table and one telemetry artifact.
+
+The merge is intentionally dumb: shards are contiguous slices of the
+canonical unit order, so concatenating their rows by shard index *is*
+the serial table.  :func:`merged_rows` does exactly that and refuses to
+produce a table from an incomplete sweep — a partial merge that silently
+passed ``check()`` would defeat the whole parity guarantee.
+
+:func:`write_merged_artifact` folds the per-shard telemetry JSONL
+artifacts (written by the workers, schema ``repro.telemetry/1``) into a
+single artifact for the whole sweep, readable by ``repro report`` and
+:func:`repro.telemetry.read_run` like any live run's file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from ..errors import ConfigurationError
+from ..telemetry import RunArtifact, TelemetryWriter, read_run
+from .executor import SweepResult
+from .store import RunStore
+
+__all__ = ["check_merged", "merged_rows", "write_merged_artifact"]
+
+
+def merged_rows(result: SweepResult) -> list[dict]:
+    """All rows in canonical order; the sweep must be complete."""
+    if not result.complete:
+        missing = sorted(
+            set(range(result.num_shards)) - set(result.records)
+        )
+        raise ConfigurationError(
+            f"sweep is incomplete: shards {missing} have no results "
+            f"({len(result.failures)} recorded failures); cannot merge"
+        )
+    return result.rows
+
+
+def check_merged(experiment_module, result: SweepResult) -> None:
+    """Run the experiment's own ``check()`` over the merged table."""
+    experiment_module.check(merged_rows(result))
+
+
+def write_merged_artifact(
+    out: str | pathlib.Path,
+    result: SweepResult,
+    store: RunStore | None = None,
+    meta: dict | None = None,
+) -> RunArtifact:
+    """Merge per-shard artifacts into one sweep artifact at ``out``.
+
+    For each completed shard (in canonical order) the shard's own
+    telemetry artifact is preferred — its ``row`` records and summary are
+    folded in; a shard whose artifact is missing or unreadable (e.g. a
+    store from a run without telemetry) falls back to the rows persisted
+    in the shard record, so a resumed sweep still merges cleanly.
+
+    Returns the merged artifact, re-read through :func:`read_run` so the
+    caller gets exactly what any offline consumer will see.
+    """
+    out = pathlib.Path(out)
+    shard_summaries: list[dict] = []
+    with TelemetryWriter(out, "sweep", meta=dict(meta or {})) as writer:
+        for index in sorted(result.records):
+            record = result.records[index]
+            rows = record["rows"]
+            if store is not None:
+                artifact_path = store.telemetry_path(
+                    result.experiment, result.config_hash, index
+                )
+                try:
+                    shard_artifact = read_run(artifact_path)
+                except (OSError, ConfigurationError):
+                    shard_artifact = None
+                if shard_artifact is not None:
+                    rows = shard_artifact.rows or rows
+                    if shard_artifact.summary:
+                        shard_summaries.append(shard_artifact.summary)
+            for row in rows:
+                writer.write({"k": "row", "row": row})
+        summary = result.summary()
+        if shard_summaries:
+            summary["shard_artifacts"] = len(shard_summaries)
+        writer.summary(summary)
+    return read_run(out)

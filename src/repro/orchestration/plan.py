@@ -1,0 +1,95 @@
+"""Shard planning: decompose a sweep into deterministic work shards.
+
+A *unit* is one single-configuration experiment call (see
+:mod:`repro.experiments._units`); a *shard* is a contiguous run of units
+in the canonical sweep order.  Contiguity is what makes the parallel
+merge trivial and exact: concatenating shard results by shard index
+reproduces the serial row order without per-row bookkeeping.
+
+The plan is a pure function of the unit list and the shard size — no
+randomness, no dependence on worker count — so a sweep interrupted under
+``--jobs 8`` resumes correctly under ``--jobs 2``: the shards are the
+same, only their assignment to processes differs.
+
+:func:`config_hash` fingerprints the work itself (experiment id, store
+schema, every unit's function and kwargs).  The run store keys results
+by this hash, so *any* change to the grid, the seed set or the
+experiment's unit decomposition lands in a fresh key and stale shard
+results can never be merged into a new sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .._validation import require_int
+
+__all__ = ["Shard", "config_hash", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous slice of the canonical unit order.
+
+    Attributes
+    ----------
+    index:
+        Shard number, ``0 .. num_shards - 1``.
+    start:
+        Global index of the shard's first unit.
+    units:
+        The unit dicts themselves (``{"func": ..., "kwargs": ...}``),
+        shipped verbatim to the worker.
+    """
+
+    index: int
+    start: int
+    units: tuple = field(default_factory=tuple)
+
+    @property
+    def stop(self) -> int:
+        """Global index one past the shard's last unit."""
+        return self.start + len(self.units)
+
+    def describe(self) -> str:
+        """Compact human-readable label for progress lines."""
+        return f"shard {self.index} (units {self.start}..{self.stop - 1})"
+
+
+def plan_shards(units: Sequence[dict], shard_size: int = 1) -> list[Shard]:
+    """Split ``units`` into contiguous shards of at most ``shard_size``.
+
+    ``shard_size=1`` (the default) gives the finest resume granularity:
+    one interrupted unit is the most work a resume can ever repeat.
+    Larger shards amortise process-pool overhead for sweeps of many tiny
+    units.
+    """
+    require_int("shard_size", shard_size, minimum=1)
+    if not units:
+        raise ConfigurationError("cannot plan shards for an empty unit list")
+    return [
+        Shard(
+            index=index,
+            start=start,
+            units=tuple(units[start:start + shard_size]),
+        )
+        for index, start in enumerate(range(0, len(units), shard_size))
+    ]
+
+
+def config_hash(experiment: str, units: Sequence[dict], schema: str) -> str:
+    """A stable fingerprint of one sweep's full work description.
+
+    Canonical JSON (sorted keys, no whitespace variance) over the
+    experiment id, the store schema version and every unit in order.
+    Non-JSON values (e.g. a ``PhysicalParams`` override) fall back to
+    ``repr`` — stable across processes, and any change to them still
+    changes the hash.
+    """
+    payload = {"experiment": experiment, "schema": schema, "units": list(units)}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,173 @@
+"""The on-disk run store: persistent, resumable shard results.
+
+Layout (one directory per sweep, keyed by experiment and config hash)::
+
+    <root>/
+      <experiment>/<config_hash>/
+        manifest.json          # sweep description: schema, units, shards
+        shard-0000.json        # one completed shard's rows + provenance
+        shard-0000.jsonl       # that shard's telemetry artifact (optional)
+        ...
+
+Every shard file carries ``(experiment, config_hash, shard index, store
+schema)`` so a file can vouch for itself: :meth:`RunStore.load_shard`
+re-checks all four before trusting the rows, and anything unreadable or
+mismatched is treated as *not done* (the shard simply re-runs).  Writes
+go through a temp-file + :func:`os.replace` rename, so a sweep killed
+mid-write can never leave a half-written shard that a later ``--resume``
+would mistake for a completed one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["RunStore", "STORE_SCHEMA"]
+
+#: Store format version; bump the major number on breaking layout changes.
+#: Participates in the config hash, so old results never match a new schema.
+STORE_SCHEMA = "repro.orchestration/1"
+
+
+def _atomic_write(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp + rename)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class RunStore:
+    """Shard results for sweeps, keyed by ``(experiment, config_hash)``."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+
+    def run_dir(self, experiment: str, cfg_hash: str) -> pathlib.Path:
+        """The directory holding one sweep's manifest and shard files."""
+        return self.root / experiment / cfg_hash
+
+    def shard_path(self, experiment: str, cfg_hash: str, index: int) -> pathlib.Path:
+        """Where shard ``index``'s result JSON lives."""
+        return self.run_dir(experiment, cfg_hash) / f"shard-{index:04d}.json"
+
+    def telemetry_path(
+        self, experiment: str, cfg_hash: str, index: int
+    ) -> pathlib.Path:
+        """Where shard ``index``'s telemetry JSONL artifact lives."""
+        return self.run_dir(experiment, cfg_hash) / f"shard-{index:04d}.jsonl"
+
+    # -- manifest ---------------------------------------------------------
+
+    def write_manifest(
+        self,
+        experiment: str,
+        cfg_hash: str,
+        units: Sequence[dict],
+        num_shards: int,
+        shard_size: int,
+    ) -> pathlib.Path:
+        """Record the sweep description (idempotent for the same sweep)."""
+        run_dir = self.run_dir(experiment, cfg_hash)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "schema": STORE_SCHEMA,
+            "experiment": experiment,
+            "config_hash": cfg_hash,
+            "units": list(units),
+            "num_shards": num_shards,
+            "shard_size": shard_size,
+        }
+        path = run_dir / "manifest.json"
+        _atomic_write(path, json.dumps(manifest, indent=2, default=repr) + "\n")
+        return path
+
+    def load_manifest(self, experiment: str, cfg_hash: str) -> dict | None:
+        """The stored sweep description, or None if absent/unreadable."""
+        path = self.run_dir(experiment, cfg_hash) / "manifest.json"
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if manifest.get("schema") != STORE_SCHEMA:
+            return None
+        return manifest
+
+    # -- shards -----------------------------------------------------------
+
+    def save_shard(self, experiment: str, cfg_hash: str, result: dict) -> pathlib.Path:
+        """Persist one completed shard's result atomically.
+
+        ``result`` is the worker's shard record (``shard``, ``rows``,
+        ``wall_s``, ...); the store stamps it with the key fields it will
+        verify on load.
+        """
+        index = result["shard"]
+        record = {
+            "schema": STORE_SCHEMA,
+            "experiment": experiment,
+            "config_hash": cfg_hash,
+            **result,
+        }
+        run_dir = self.run_dir(experiment, cfg_hash)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path(experiment, cfg_hash, index)
+        _atomic_write(path, json.dumps(record, default=repr) + "\n")
+        return path
+
+    def load_shard(self, experiment: str, cfg_hash: str, index: int) -> dict | None:
+        """A previously persisted shard result, or None when not done.
+
+        Corrupt, truncated or mismatched files count as not done — the
+        orchestrator will simply re-run the shard and overwrite them.
+        """
+        path = self.shard_path(experiment, cfg_hash, index)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if (
+            record.get("schema") != STORE_SCHEMA
+            or record.get("experiment") != experiment
+            or record.get("config_hash") != cfg_hash
+            or record.get("shard") != index
+            or not isinstance(record.get("rows"), list)
+        ):
+            return None
+        return record
+
+    def completed_shards(
+        self, experiment: str, cfg_hash: str, num_shards: int
+    ) -> dict[int, dict]:
+        """All persisted-and-valid shard results for one sweep."""
+        done: dict[int, dict] = {}
+        for index in range(num_shards):
+            record = self.load_shard(experiment, cfg_hash, index)
+            if record is not None:
+                done[index] = record
+        return done
+
+    def validate_resume(
+        self, experiment: str, cfg_hash: str, num_shards: int
+    ) -> None:
+        """Fail fast when a manifest exists but describes different work.
+
+        A matching config hash already guarantees identical units; this
+        guards the remaining degree of freedom (shard size / count), which
+        would break the contiguous merge if it silently changed.
+        """
+        manifest = self.load_manifest(experiment, cfg_hash)
+        if manifest is None:
+            return
+        if manifest.get("num_shards") != num_shards:
+            raise ConfigurationError(
+                f"store {self.run_dir(experiment, cfg_hash)} was written with "
+                f"{manifest.get('num_shards')} shards but this sweep plans "
+                f"{num_shards}; use the same --shard-size to resume"
+            )

@@ -212,11 +212,35 @@ class RunArtifact:
         )
 
 
+def _parse_line(path: pathlib.Path, number: int, line: str) -> dict:
+    """One JSONL record, or a clear error naming the offending line.
+
+    A killed run (crashed worker, SIGKILL mid-write) leaves a truncated
+    final line; corruption leaves garbage anywhere.  Both surface as
+    :class:`~repro.errors.ConfigurationError` with the line number so
+    the artifact can be inspected, rather than a bare ``json`` traceback.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as failure:
+        raise ConfigurationError(
+            f"{path}: line {number} is not valid JSON ({failure.msg}) — "
+            "the artifact is corrupt or was truncated by a killed run"
+        ) from failure
+    if not isinstance(record, dict):
+        raise ConfigurationError(
+            f"{path}: line {number} is not a JSON object — "
+            "not a telemetry record"
+        )
+    return record
+
+
 def read_run(path: str | pathlib.Path) -> RunArtifact:
     """Parse a telemetry JSONL file into a :class:`RunArtifact`.
 
     Raises :class:`~repro.errors.ConfigurationError` on a missing or
-    incompatible header; tolerates (and skips) unknown record kinds.
+    incompatible header and on corrupt or truncated record lines (with
+    the line number); tolerates (and skips) unknown record kinds.
     """
     from ..simulation.trace import TraceRecorder
 
@@ -225,7 +249,7 @@ def read_run(path: str | pathlib.Path) -> RunArtifact:
         first = handle.readline()
         if not first.strip():
             raise ConfigurationError(f"{path} is empty — not a telemetry file")
-        header = json.loads(first)
+        header = _parse_line(path, 1, first)
         if header.get("k") != "header":
             raise ConfigurationError(
                 f"{path} does not start with a telemetry header record"
@@ -244,17 +268,23 @@ def read_run(path: str | pathlib.Path) -> RunArtifact:
             meta=header.get("meta", {}),
             trace=trace,
         )
-        for line in handle:
+        for number, line in enumerate(handle, start=2):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            record = _parse_line(path, number, line)
             kind = record.get("k")
             if kind == "trace":
-                trace.record(
-                    record["slot"], record["node"], record["kind"],
-                    record.get("detail"),
-                )
+                try:
+                    trace.record(
+                        record["slot"], record["node"], record["kind"],
+                        record.get("detail"),
+                    )
+                except KeyError as missing:
+                    raise ConfigurationError(
+                        f"{path}: line {number} is a trace record missing "
+                        f"field {missing} — the artifact is corrupt"
+                    ) from missing
             elif kind == "slot":
                 artifact.slots.append(record)
             elif kind == "row":

@@ -2,8 +2,23 @@
 
 import pytest
 
-from repro.analysis.sweep import sweep
+from repro.analysis.sweep import enumerate_combos, sweep
 from repro.errors import ConfigurationError
+
+#: Output of the pre-refactor serial ``sweep()`` (captured before
+#: ``enumerate_combos`` was factored out) for the scenario exercised by
+#: ``test_serial_output_bit_identical`` — the refactor must not move a row.
+GOLDEN_ROWS = [
+    {"a": 1, "b": "x", "seed": 0, "v": 10},
+    {"a": 1, "b": "x", "seed": 1, "v": 11},
+    {"a": 1, "b": "y", "seed": 0, "v": 10, "tag": "first"},
+    {"a": 1, "b": "y", "seed": 0, "v": -1, "tag": "second"},
+    {"a": 1, "b": "y", "seed": 1, "v": 11, "tag": "first"},
+    {"a": 1, "b": "y", "seed": 1, "v": -1, "tag": "second"},
+    {"a": 2, "b": "x", "seed": 0, "v": 20},
+    {"a": 2, "b": "y", "seed": 0, "v": 20, "tag": "first"},
+    {"a": 2, "b": "y", "seed": 0, "v": -1, "tag": "second"},
+]
 
 
 class TestSweep:
@@ -45,3 +60,44 @@ class TestSweep:
     def test_empty_grid_rejected(self):
         with pytest.raises(ConfigurationError):
             sweep(lambda seed: {}, grid={})
+
+    def test_serial_output_bit_identical(self):
+        """The enumerate_combos refactor must not change sweep() output.
+
+        GOLDEN_ROWS was captured from the pre-refactor implementation:
+        same rows, same key order within each row, same row order.
+        """
+
+        def fake(seed, a, b):
+            if a == 2 and seed == 1:
+                return None
+            if b == "y":
+                return [{"v": a * 10 + seed, "tag": "first"},
+                        {"v": -1, "tag": "second"}]
+            return {"v": a * 10 + seed}
+
+        rows = sweep(fake, {"a": [1, 2], "b": ["x", "y"]}, seeds=[0, 1])
+        assert rows == GOLDEN_ROWS
+        # bit-identical, not merely equal: key insertion order preserved
+        assert [list(r.items()) for r in rows] == [
+            list(r.items()) for r in GOLDEN_ROWS
+        ]
+
+
+class TestEnumerateCombos:
+    def test_canonical_order_matches_sweep(self):
+        combos = list(enumerate_combos({"a": [1, 2], "b": ["x"]}, seeds=[0, 1]))
+        assert combos == [
+            ({"a": 1, "b": "x"}, 0),
+            ({"a": 1, "b": "x"}, 1),
+            ({"a": 2, "b": "x"}, 0),
+            ({"a": 2, "b": "x"}, 1),
+        ]
+
+    def test_empty_grid_yields_seed_only_units(self):
+        assert list(enumerate_combos({}, seeds=[3, 4])) == [({}, 3), ({}, 4)]
+
+    def test_combos_are_fresh_dicts(self):
+        combos = list(enumerate_combos({"a": [1]}, seeds=[0, 1]))
+        combos[0][0]["a"] = 99
+        assert combos[1][0]["a"] == 1

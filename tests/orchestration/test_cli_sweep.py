@@ -1,0 +1,136 @@
+"""CLI surface: ``repro sweep``, orchestrated ``repro experiment``, SIGINT.
+
+The in-process tests drive ``main()`` directly on exp10 (sub-second).
+The SIGINT test runs a real child process against the fixture experiment
+and kills it mid-sweep — the only honest way to exercise the drain path.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestSweepCommand:
+    def test_sweep_matches_serial_experiment_table(self, capsys):
+        assert main(["experiment", "exp10"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["sweep", "exp10", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # identical output modulo the orchestration summary line
+        parallel_lines = [
+            line for line in parallel.splitlines() if "shards over" not in line
+        ]
+        assert parallel_lines == serial.splitlines()
+        assert "check passed" in parallel
+
+    def test_sweep_persists_and_resumes(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "exp10", "--jobs", "2", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(
+            ["sweep", "exp10", "--jobs", "2", "--store", store, "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "8 resumed" in out
+        assert "check passed" in out
+
+    def test_sweep_writes_merged_telemetry(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.jsonl"
+        store = str(tmp_path / "store")
+        code = main(
+            ["sweep", "exp10", "--jobs", "2", "--store", store,
+             "--telemetry-out", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        capsys.readouterr()
+        assert main(["report", str(out_path)]) == 0
+        report = capsys.readouterr().out
+        assert "exported rows (8)" in report
+
+    def test_experiment_routes_through_orchestrator(self, capsys, tmp_path):
+        code = main(
+            ["experiment", "exp10", "--jobs", "2",
+             "--store", str(tmp_path / "store")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards over 2 jobs" in out
+        assert "check passed" in out
+
+    def test_sweep_rejects_resume_without_store(self, capsys):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="store"):
+            main(["sweep", "exp10", "--jobs", "2", "--resume"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestSigintDrain:
+    def test_sigint_drains_then_resume_completes(self, tmp_path):
+        """Interrupt a real sweep process; resume must finish the table."""
+        store = tmp_path / "store"
+        driver = (
+            "import sys, json\n"
+            "from repro.orchestration import run_sharded\n"
+            "result = run_sharded(\n"
+            "    'fake', module='tests.orchestration.fake_exp', jobs=2,\n"
+            f"    store={str(store)!r}, install_sigint=True,\n"
+            "    unit_kwargs={'seeds': [0, 1], 'xs': [1, 2, 3], 'sleep_s': 0.4},\n"
+            "    progress=lambda m: print(m, flush=True),\n"
+            ")\n"
+            "sys.exit(130 if result.interrupted else 0)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT),
+             env.get("PYTHONPATH", "")]
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", driver],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=str(REPO_ROOT),
+        )
+        # wait until at least one shard has been persisted, then interrupt
+        for line in process.stdout:
+            if "done:" in line:
+                process.send_signal(signal.SIGINT)
+                break
+        process.stdout.read()
+        assert process.wait(timeout=60) == 130
+
+        # the interrupted run persisted a strict subset of the shards
+        shard_files = list(store.rglob("shard-*.json"))
+        assert 0 < len(shard_files) < 6
+
+        from repro.orchestration import merged_rows, run_sharded
+
+        from . import fake_exp
+
+        resumed = run_sharded(
+            "fake", module="tests.orchestration.fake_exp", jobs=2,
+            store=store, resume=True,
+            unit_kwargs={"seeds": [0, 1], "xs": [1, 2, 3], "sleep_s": 0.4},
+        )
+        assert resumed.complete
+        assert resumed.resumed  # it really did skip persisted work
+        serial = fake_exp.run(seeds=[0, 1], xs=[1, 2, 3])
+        assert merged_rows(resumed) == serial

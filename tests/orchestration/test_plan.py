@@ -1,0 +1,76 @@
+"""Shard planner: determinism, coverage, config hashing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.orchestration import config_hash, plan_shards
+from repro.orchestration.store import STORE_SCHEMA
+
+from . import fake_exp
+
+
+class TestPlanShards:
+    def test_unit_sized_shards_cover_everything_in_order(self):
+        units = fake_exp.units(seeds=[0, 1], xs=[1, 2])
+        shards = plan_shards(units, shard_size=1)
+        assert [s.index for s in shards] == [0, 1, 2, 3]
+        assert [s.start for s in shards] == [0, 1, 2, 3]
+        flattened = [u for s in shards for u in s.units]
+        assert flattened == units
+
+    def test_uneven_tail_shard(self):
+        units = fake_exp.units(seeds=[0], xs=[1, 2, 3, 4, 5])
+        shards = plan_shards(units, shard_size=2)
+        assert [len(s.units) for s in shards] == [2, 2, 1]
+        assert [s.start for s in shards] == [0, 2, 4]
+        assert shards[2].stop == 5
+
+    def test_plan_is_deterministic(self):
+        units = fake_exp.units()
+        assert plan_shards(units, 2) == plan_shards(units, 2)
+
+    def test_oversized_shard_is_one_shard(self):
+        units = fake_exp.units(seeds=[0], xs=[1, 2])
+        shards = plan_shards(units, shard_size=99)
+        assert len(shards) == 1
+        assert shards[0].units == tuple(units)
+
+    def test_empty_units_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards([], 1)
+
+    def test_bad_shard_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(fake_exp.units(), 0)
+
+
+class TestConfigHash:
+    def test_stable_for_identical_work(self):
+        a = config_hash("fake", fake_exp.units(seeds=[0, 1]), STORE_SCHEMA)
+        b = config_hash("fake", fake_exp.units(seeds=[0, 1]), STORE_SCHEMA)
+        assert a == b
+
+    def test_changes_with_seeds(self):
+        a = config_hash("fake", fake_exp.units(seeds=[0, 1]), STORE_SCHEMA)
+        b = config_hash("fake", fake_exp.units(seeds=[0, 2]), STORE_SCHEMA)
+        assert a != b
+
+    def test_changes_with_grid(self):
+        a = config_hash("fake", fake_exp.units(xs=[1, 2]), STORE_SCHEMA)
+        b = config_hash("fake", fake_exp.units(xs=[1, 3]), STORE_SCHEMA)
+        assert a != b
+
+    def test_changes_with_experiment_and_schema(self):
+        units = fake_exp.units()
+        assert config_hash("fake", units, STORE_SCHEMA) != config_hash(
+            "other", units, STORE_SCHEMA
+        )
+        assert config_hash("fake", units, STORE_SCHEMA) != config_hash(
+            "fake", units, "repro.orchestration/2"
+        )
+
+    def test_non_json_values_hash_via_repr(self):
+        from repro.sinr.params import PhysicalParams
+
+        units = fake_exp.units(knob=PhysicalParams())
+        assert config_hash("fake", units, STORE_SCHEMA)

@@ -1,0 +1,95 @@
+"""Run store: atomic persistence, validation, resume bookkeeping."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.orchestration import RunStore
+from repro.orchestration.store import STORE_SCHEMA
+
+
+def _record(index, rows=None):
+    return {
+        "shard": index,
+        "start": index,
+        "units": 1,
+        "unit_rows": [len(rows or [])],
+        "rows": rows or [{"x": index}],
+        "wall_s": 0.01,
+    }
+
+
+class TestShardRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.save_shard("fake", "abc", _record(3, rows=[{"x": 3, "v": 1}]))
+        loaded = store.load_shard("fake", "abc", 3)
+        assert loaded is not None
+        assert loaded["rows"] == [{"x": 3, "v": 1}]
+        assert loaded["schema"] == STORE_SCHEMA
+
+    def test_missing_shard_is_none(self, tmp_path):
+        assert RunStore(tmp_path).load_shard("fake", "abc", 0) is None
+
+    def test_corrupt_shard_is_none(self, tmp_path):
+        store = RunStore(tmp_path)
+        path = store.shard_path("fake", "abc", 0)
+        path.parent.mkdir(parents=True)
+        path.write_text('{"schema": "repro.orchestration/1", "rows": [truncat')
+        assert store.load_shard("fake", "abc", 0) is None
+
+    def test_wrong_key_fields_are_none(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.save_shard("fake", "abc", _record(0))
+        # same bytes under a different experiment / hash / index: rejected
+        data = store.shard_path("fake", "abc", 0).read_text()
+        other = store.shard_path("fake", "xyz", 0)
+        other.parent.mkdir(parents=True)
+        other.write_text(data)
+        assert store.load_shard("fake", "xyz", 0) is None
+        shifted = store.shard_path("fake", "abc", 7)
+        shifted.write_text(data)
+        assert store.load_shard("fake", "abc", 7) is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.save_shard("fake", "abc", _record(0))
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+
+class TestCompletedShards:
+    def test_collects_only_valid(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.save_shard("fake", "abc", _record(0))
+        store.save_shard("fake", "abc", _record(2))
+        store.shard_path("fake", "abc", 1).write_text("not json")
+        done = store.completed_shards("fake", "abc", num_shards=4)
+        assert sorted(done) == [0, 2]
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        store = RunStore(tmp_path)
+        units = [{"func": "run_single", "kwargs": {"seed": 0, "x": 1}}]
+        store.write_manifest("fake", "abc", units, num_shards=1, shard_size=1)
+        manifest = store.load_manifest("fake", "abc")
+        assert manifest["units"] == units
+        assert manifest["num_shards"] == 1
+
+    def test_schema_mismatch_ignored(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.write_manifest("fake", "abc", [], 1, 1)
+        path = store.run_dir("fake", "abc") / "manifest.json"
+        blob = json.loads(path.read_text())
+        blob["schema"] = "something/else"
+        path.write_text(json.dumps(blob))
+        assert store.load_manifest("fake", "abc") is None
+
+    def test_validate_resume_rejects_shard_count_change(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.write_manifest("fake", "abc", [], num_shards=4, shard_size=2)
+        with pytest.raises(ConfigurationError, match="shard"):
+            store.validate_resume("fake", "abc", num_shards=8)
+        store.validate_resume("fake", "abc", num_shards=4)  # same plan: fine

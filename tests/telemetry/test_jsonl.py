@@ -120,3 +120,50 @@ class TestRejectedFiles:
             '{"k": "header", "schema": "repro.telemetry/2", "command": "x"}\n'
         )
         assert read_run(path).schema == "repro.telemetry/2"
+
+
+class TestCorruptArtifacts:
+    """A killed parallel worker can leave partial files; fail clearly."""
+
+    HEADER = '{"k": "header", "schema": "repro.telemetry/1", "command": "x"}\n'
+
+    def test_truncated_final_line(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(self.HEADER + '{"k": "row", "row": {"a"')
+        with pytest.raises(ConfigurationError, match="line 2.*truncated"):
+            read_run(path)
+
+    def test_garbage_mid_file(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text(
+            self.HEADER
+            + '{"k": "row", "row": {"a": 1}}\n'
+            + "\x00\x00 not json at all\n"
+            + '{"k": "summary", "summary": {}}\n'
+        )
+        with pytest.raises(ConfigurationError, match="line 3"):
+            read_run(path)
+
+    def test_corrupt_header_line(self, tmp_path):
+        path = tmp_path / "badheader.jsonl"
+        path.write_text('{"k": "header", "schema": "repro.telem')
+        with pytest.raises(ConfigurationError, match="line 1"):
+            read_run(path)
+
+    def test_non_object_record(self, tmp_path):
+        path = tmp_path / "array.jsonl"
+        path.write_text(self.HEADER + "[1, 2, 3]\n")
+        with pytest.raises(ConfigurationError, match="line 2.*JSON object"):
+            read_run(path)
+
+    def test_trace_record_missing_fields(self, tmp_path):
+        path = tmp_path / "badtrace.jsonl"
+        path.write_text(self.HEADER + '{"k": "trace", "slot": 3}\n')
+        with pytest.raises(ConfigurationError, match="line 2.*trace"):
+            read_run(path)
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "named.jsonl"
+        path.write_text(self.HEADER + "{broken\n")
+        with pytest.raises(ConfigurationError, match="named.jsonl"):
+            read_run(path)

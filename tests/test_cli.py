@@ -112,6 +112,28 @@ class TestTelemetry:
         bogus.write_text('{"not": "a header"}\n')
         assert main(["report", str(bogus)]) == 2
 
+    def test_report_rejects_truncated_artifact(self, capsys, tmp_path):
+        # a killed worker leaves a partial final line
+        partial = tmp_path / "truncated.jsonl"
+        partial.write_text(
+            '{"k": "header", "schema": "repro.telemetry/1", "command": "x"}\n'
+            '{"k": "row", "row'
+        )
+        assert main(["report", str(partial)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read telemetry artifact" in err
+        assert "line 2" in err
+
+    def test_report_rejects_corrupt_mid_file(self, capsys, tmp_path):
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text(
+            '{"k": "header", "schema": "repro.telemetry/1", "command": "x"}\n'
+            '{"k": "row", "row": {"a": 1}}\n'
+            "never json\n"
+        )
+        assert main(["report", str(corrupt)]) == 2
+        assert "line 3" in capsys.readouterr().err
+
 
 class TestParser:
     def test_requires_command(self):
