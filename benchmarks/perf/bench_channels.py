@@ -53,6 +53,7 @@ from repro.sinr.channel import (
     Transmission,
 )
 from repro.sinr.params import PhysicalParams
+from repro.simulation.rng import rng_from_seed
 
 from seed_baseline import (
     seed_collision_free_resolve,
@@ -71,7 +72,7 @@ DEFAULT_OUT = HERE / "BENCH_channels.json"
 
 def make_workload(n: int, seed: int = 0):
     """Constant-density deployment plus a 10% random sender set."""
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     extent = (n / DENSITY) ** 0.5
     positions = rng.uniform(0.0, extent, size=(n, 2))
     k = max(1, int(round(SENDER_FRACTION * n)))

@@ -1,5 +1,7 @@
 """EXP-10 bench — thin harness over :mod:`repro.experiments.exp10_physical_sweep`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.experiments import exp10_physical_sweep as exp

@@ -1,5 +1,7 @@
 """EXP-11 bench — thin harness over :mod:`repro.experiments.exp11_loss_robustness`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.analysis.metrics import aggregate_rows

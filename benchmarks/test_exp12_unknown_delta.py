@@ -1,5 +1,7 @@
 """EXP-12 bench — thin harness over :mod:`repro.experiments.exp12_unknown_delta`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.experiments import exp12_unknown_delta as exp

@@ -1,5 +1,7 @@
 """EXP-13 bench — thin harness over :mod:`repro.experiments.exp13_wakeup_patterns`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.experiments import exp13_wakeup_patterns as exp

@@ -5,6 +5,8 @@ wrapper adds wall-clock timing of the densest configuration and persists
 the aggregated table.
 """
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.analysis.metrics import aggregate_rows

@@ -1,5 +1,7 @@
 """EXP-2 bench — thin harness over :mod:`repro.experiments.exp02_time_scaling`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.analysis.metrics import aggregate_rows, fit_shape

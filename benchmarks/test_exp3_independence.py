@@ -1,5 +1,7 @@
 """EXP-3 bench — thin harness over :mod:`repro.experiments.exp03_independence`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.experiments import exp03_independence as exp

@@ -1,5 +1,7 @@
 """EXP-4 bench — thin harness over :mod:`repro.experiments.exp04_interference_bound`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.experiments import exp04_interference_bound as exp

@@ -1,5 +1,7 @@
 """EXP-5 bench — thin harness over :mod:`repro.experiments.exp05_tdma_mac`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.experiments import exp05_tdma_mac as exp

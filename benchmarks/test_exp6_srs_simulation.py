@@ -1,5 +1,7 @@
 """EXP-6 bench — thin harness over :mod:`repro.experiments.exp06_srs_simulation`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.experiments import exp06_srs_simulation as exp

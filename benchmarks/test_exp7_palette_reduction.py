@@ -1,5 +1,7 @@
 """EXP-7 bench — thin harness over :mod:`repro.experiments.exp07_palette_reduction`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.experiments import exp07_palette_reduction as exp

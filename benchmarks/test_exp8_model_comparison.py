@@ -1,5 +1,7 @@
 """EXP-8 bench — thin harness over :mod:`repro.experiments.exp08_model_comparison`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.analysis.metrics import aggregate_rows

@@ -1,5 +1,7 @@
 """EXP-9 bench — thin harness over :mod:`repro.experiments.exp09_scale_ablation`."""
 
+from __future__ import annotations
+
 from conftest import once
 
 from repro.analysis.metrics import aggregate_rows

@@ -21,6 +21,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 claim-by-claim validation of the paper.
 """
 
+from __future__ import annotations
+
 from .coloring import (
     AlgorithmConstants,
     IndependenceAuditor,

@@ -1,5 +1,7 @@
 """``python -m repro`` — dispatch to the CLI."""
 
+from __future__ import annotations
+
 import sys
 
 from .cli import main

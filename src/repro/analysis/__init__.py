@@ -1,5 +1,7 @@
 """Analysis utilities: theoretical predictions, metrics, sweeps, tables."""
 
+from __future__ import annotations
+
 from .energy import TransmissionCounter
 from .metrics import aggregate_rows, coloring_row, fit_shape
 from .protocol_stats import ProtocolStats, trace_statistics

@@ -38,6 +38,7 @@ from .coloring.baselines import greedy_coloring
 from .coloring.estimation import estimate_degrees
 from .coloring.runner import run_mw_coloring_audited
 from .geometry.deployment import (
+    Deployment,
     clustered_deployment,
     grid_deployment,
     uniform_deployment,
@@ -121,7 +122,7 @@ def _params(args: argparse.Namespace) -> PhysicalParams:
     return PhysicalParams(alpha=args.alpha, beta=args.beta, rho=args.rho).with_r_t(1.0)
 
 
-def _deployment(args: argparse.Namespace):
+def _deployment(args: argparse.Namespace) -> Deployment:
     if args.family == "uniform":
         return uniform_deployment(args.n, args.extent, seed=args.seed)
     if args.family == "clustered":
@@ -310,6 +311,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
     from time import perf_counter
 
     from .experiments import REGISTRY
@@ -318,13 +320,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return _run_orchestrated(args)
 
     module = REGISTRY[args.id]
-    start = perf_counter()
-    try:
+    start = perf_counter()  # repro: noqa[DET001] wall-clock provenance only; rows are unaffected
+    if "seeds" in inspect.signature(module.run).parameters:
         rows = module.run(seeds=range(args.seeds))
-    except TypeError:
-        # some experiments sweep other axes (e.g. exp10's (alpha, beta) grid)
+    else:
+        # some experiments sweep other axes (e.g. exp10's (alpha, beta) grid);
+        # inspecting the signature instead of catching TypeError keeps a
+        # TypeError raised *inside* run() loud instead of silently rerunning
+        # the sweep with default parameters
         rows = module.run()
-    elapsed = perf_counter() - start
+    elapsed = perf_counter() - start  # repro: noqa[DET001] wall-clock provenance only; rows are unaffected
     print(format_table(rows, columns=module.COLUMNS, title=module.TITLE))
     check_passed = None
     exit_code = 0
@@ -428,6 +433,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     elif run.trace is not None and len(run.trace) > 0:
         print(f"trace: {len(run.trace)} events (no summary context for protocol stats)")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.cli import run_lint
+
+    return run_lint(args)
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -545,6 +556,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("path", help="artifact written via --telemetry-out")
     report.set_defaults(func=_cmd_report)
+
+    from .devtools.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the invariant linter (docs/STATIC_ANALYSIS.md)",
+        description=(
+            "AST-based invariant linter: RNG discipline, determinism "
+            "hazards, experiment contract, artifact schemas, error "
+            "discipline.  Exit 0 clean, 1 findings, 2 usage error."
+        ),
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

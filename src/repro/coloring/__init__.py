@@ -14,6 +14,8 @@
 * :mod:`repro.coloring.baselines` — greedy and Luby-style baselines.
 """
 
+from __future__ import annotations
+
 from .audit import IndependenceAuditor
 from .baselines import greedy_coloring, randomized_coloring
 from .constants import AlgorithmConstants

@@ -25,6 +25,7 @@ from .._validation import require_int
 from ..errors import ColoringError
 from ..graphs.coloring import Coloring
 from ..graphs.udg import UnitDiskGraph
+from ..simulation.rng import rng_from_seed
 
 __all__ = ["greedy_coloring", "randomized_coloring"]
 
@@ -70,7 +71,7 @@ def randomized_coloring(
     node decides (vanishingly unlikely for sane inputs).
     """
     require_int("max_rounds", max_rounds, minimum=1)
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     n = graph.n
     colors = np.full(n, -1, dtype=np.int64)
     for round_index in range(1, max_rounds + 1):

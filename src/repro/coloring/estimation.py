@@ -39,6 +39,7 @@ from ..geometry.deployment import Deployment
 from ..graphs.udg import UnitDiskGraph
 from ..sinr.channel import SINRChannel, Transmission
 from ..sinr.params import PhysicalParams
+from ..simulation.rng import rng_from_seed
 from .constants import AlgorithmConstants
 from .result import MWColoringResult
 from .runner import run_mw_coloring
@@ -99,7 +100,7 @@ def estimate_degrees(
     require_positive("safety", safety)
     channel = SINRChannel(positions, params)
     n = channel.n
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     heard: list[set[int]] = [set() for _ in range(n)]
     slots = 0
 

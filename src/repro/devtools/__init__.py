@@ -1,0 +1,42 @@
+"""Developer tooling: the invariant linter behind ``repro lint``.
+
+The repo's core guarantees — seeded-RNG-only randomness, bit-identical
+sweep parity, telemetry-on == telemetry-off determinism, the experiment
+plug-in contract — are enforced mechanically by an AST-based linter
+with project-specific rules:
+
+* :mod:`repro.devtools.framework` — rule registry, ``# repro:
+  noqa[CODE]`` suppressions, file/line findings, the lint driver;
+* :mod:`repro.devtools.rules` — the rule catalogue (RNG, determinism,
+  experiment contract, artifact schema, error discipline, style);
+* :mod:`repro.devtools.cli` — the ``repro lint`` front end (human and
+  JSON output, ``--select``/``--ignore``, ``--list-rules``).
+
+docs/STATIC_ANALYSIS.md documents every rule code, its rationale and
+the suppression policy.  The lint gate runs blocking in CI next to
+``mypy --strict`` (see tools/typecheck.py).
+"""
+
+from __future__ import annotations
+
+from .findings import Finding
+from .framework import (
+    FileContext,
+    LintReport,
+    Rule,
+    all_rules,
+    lint_file,
+    lint_paths,
+    rule,
+)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "rule",
+]

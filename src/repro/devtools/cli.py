@@ -1,0 +1,118 @@
+"""``repro lint`` — the invariant linter's command-line front end.
+
+Also runnable standalone (``python tools/lint.py`` or
+``python -m repro.devtools.cli``) so the gate works in checkouts where
+the package is not installed.  Exit codes: 0 clean, 1 findings, 2 usage
+error (unknown rule code, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .framework import all_rules, lint_paths
+
+__all__ = ["add_lint_arguments", "build_parser", "main", "run_lint"]
+
+#: Directories linted when none are named (the gate's default surface).
+DEFAULT_PATHS = ("src", "tools", "benchmarks")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` arguments (shared with the ``repro`` CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint "
+        f"(default: the {'/'.join(DEFAULT_PATHS)} directories that exist)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (json mirrors the human report, machine-readably)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The standalone ``repro-lint`` parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant linter for the repro codebase "
+        "(rule catalogue: docs/STATIC_ANALYSIS.md)",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _codes(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def _default_paths() -> list[str]:
+    import pathlib
+
+    present = [path for path in DEFAULT_PATHS if pathlib.Path(path).is_dir()]
+    return present or ["."]
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed ``lint`` invocation; returns the exit code."""
+    if args.list_rules:
+        for item in all_rules():
+            print(f"{item.code}  {item.name}")
+            print(f"        {item.rationale}")
+        return 0
+    try:
+        report = lint_paths(
+            args.paths or _default_paths(),
+            select=_codes(args.select),
+            ignore=_codes(args.ignore),
+        )
+    except (ValueError, FileNotFoundError) as failure:
+        print(f"repro lint: {failure}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (
+            f"{len(report.findings)} finding(s) in {report.files} file(s)"
+            f" ({report.suppressed} suppressed)"
+        )
+        print(("" if report.clean else "\n") + summary)
+    return 0 if report.clean else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point."""
+    return run_lint(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The linter's output unit: one finding, one location, one rule code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Field order doubles as sort order, so a report is stable and
+    grouped by file regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The conventional ``path:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """A JSON-ready mapping (inverse of :meth:`from_json`)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_json` output."""
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[call-overload]
+            col=int(payload["col"]),  # type: ignore[call-overload]
+            code=str(payload["code"]),
+            message=str(payload["message"]),
+        )

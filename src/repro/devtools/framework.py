@@ -1,0 +1,283 @@
+"""Rule framework for the invariant linter.
+
+The linter is a small, dependency-free AST pass: every rule is a class
+with a stable ``code`` registered via the :func:`rule` decorator, every
+violation is a :class:`~repro.devtools.findings.Finding`, and a
+``# repro: noqa[CODE]`` comment on the flagged line suppresses exactly
+the named codes (suppressions are counted, never silent).  See
+docs/STATIC_ANALYSIS.md for the rule catalogue and the suppression
+policy.
+
+Design constraints the framework itself obeys:
+
+* rules never import the modules they inspect — files are *parsed*, not
+  executed, so fixture files with deliberate violations are safe;
+* a file that fails to parse is a finding (``LNT001``), not a crash;
+* a rule that raises is a finding (``LNT002``) on that file, so one bad
+  rule cannot take down the whole gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Sequence
+
+from .findings import Finding
+
+__all__ = [
+    "FileContext",
+    "LintReport",
+    "PARSE_ERROR",
+    "RULE_ERROR",
+    "Rule",
+    "all_rules",
+    "dotted_name",
+    "lint_file",
+    "lint_paths",
+    "rule",
+]
+
+#: Pseudo-code for files the linter cannot parse.
+PARSE_ERROR = "LNT001"
+#: Pseudo-code for a rule that raised while inspecting a file.
+RULE_ERROR = "LNT002"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+
+
+class FileContext:
+    """Everything a rule may look at for one file.
+
+    ``parts`` are the path components relative to the lint root (posix
+    order), which is how rules scope themselves — "inside
+    ``telemetry/``", "the file is ``simulation/rng.py``" — without
+    caring where the repository is mounted.
+    """
+
+    def __init__(self, path: pathlib.Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines: tuple[str, ...] = tuple(source.splitlines())
+        self.parts: tuple[str, ...] = tuple(relpath.split("/"))
+        self.name: str = self.parts[-1] if self.parts else path.name
+        self.tree: ast.Module | None = None
+        try:
+            self.tree = ast.parse(source, filename=relpath)
+        except SyntaxError as failure:
+            self.parse_error: SyntaxError | None = failure
+        else:
+            self.parse_error = None
+
+    def within(self, *directories: str) -> bool:
+        """True when any of ``directories`` appears on the file's path."""
+        return any(directory in self.parts[:-1] for directory in directories)
+
+    def is_file(self, filename: str, *, under: str | None = None) -> bool:
+        """True when this is ``filename`` (optionally under a directory)."""
+        if self.name != filename:
+            return False
+        return under is None or self.within(under)
+
+    def suppressed_codes(self, line: int) -> frozenset[str]:
+        """Codes a ``# repro: noqa[...]`` comment suppresses on ``line``."""
+        if not 1 <= line <= len(self.lines):
+            return frozenset()
+        match = _NOQA_RE.search(self.lines[line - 1])
+        if match is None:
+            return frozenset()
+        return frozenset(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+
+    def walk(self) -> Iterator[ast.AST]:
+        """All AST nodes, or nothing when the file did not parse."""
+        if self.tree is None:
+            return iter(())
+        return ast.walk(self.tree)
+
+
+class Rule(ABC):
+    """One invariant: a stable code, a rationale, and an AST check."""
+
+    #: Stable identifier (``ABC123``) used in reports and suppressions.
+    code: str = ""
+    #: Short human name shown by ``repro lint --list-rules``.
+    name: str = ""
+    #: One-sentence justification (the long form lives in the docs).
+    rationale: str = ""
+
+    @abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx`` (no filesystem or import access)."""
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """A finding of this rule at ``node``'s location."""
+        return Finding(
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+_CODE_RE = re.compile(r"^[A-Z]{3}[0-9]{3}$")
+
+
+def rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule by its code."""
+    if not _CODE_RE.match(cls.code):
+        raise ValueError(f"rule code must look like ABC123, got {cls.code!r}")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by code (loads the rule modules)."""
+    from . import rules as _rules  # registration side effect
+
+    assert _rules is not None
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclasses.dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: list[Finding]
+    files: int
+    suppressed: int
+
+    @property
+    def clean(self) -> bool:
+        """True when no unsuppressed finding remains."""
+        return not self.findings
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-ready mapping mirroring the human report."""
+        return {
+            "files": self.files,
+            "suppressed": self.suppressed,
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+
+def _selected(
+    select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> tuple[Rule, ...]:
+    rules = all_rules()
+    known = {item.code for item in rules} | {PARSE_ERROR, RULE_ERROR}
+    for requested in list(select or ()) + list(ignore or ()):
+        if requested not in known:
+            raise ValueError(f"unknown rule code {requested!r}")
+    if select:
+        rules = tuple(item for item in rules if item.code in set(select))
+    if ignore:
+        rules = tuple(item for item in rules if item.code not in set(ignore))
+    return rules
+
+
+def lint_file(
+    path: pathlib.Path,
+    root: pathlib.Path,
+    rules: Iterable[Rule] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint one file; returns ``(findings, suppressed_count)``."""
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    ctx = FileContext(path, relpath, path.read_text(encoding="utf-8"))
+
+    raw: list[Finding] = []
+    if ctx.parse_error is not None:
+        raw.append(
+            Finding(
+                path=relpath,
+                line=ctx.parse_error.lineno or 1,
+                col=(ctx.parse_error.offset or 0) + 1,
+                code=PARSE_ERROR,
+                message=f"file does not parse: {ctx.parse_error.msg}",
+            )
+        )
+    for item in all_rules() if rules is None else rules:
+        try:
+            raw.extend(item.check(ctx))
+        except Exception as failure:  # a broken rule must not mask others
+            raw.append(
+                Finding(
+                    path=relpath,
+                    line=1,
+                    col=1,
+                    code=RULE_ERROR,
+                    message=f"rule {item.code} crashed: "
+                    f"{type(failure).__name__}: {failure}",
+                )
+            )
+
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        if finding.code in ctx.suppressed_codes(finding.line):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def iter_python_files(paths: Sequence[pathlib.Path]) -> list[pathlib.Path]:
+    """The sorted ``.py`` files under ``paths`` (dirs recursed, caches skipped)."""
+    collected: set[pathlib.Path] = set()
+    for path in paths:
+        if path.is_file():
+            collected.add(path)
+        elif path.is_dir():
+            for item in path.rglob("*.py"):
+                if not any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in item.parts
+                ):
+                    collected.add(item)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(collected)
+
+
+def lint_paths(
+    paths: Sequence[str | pathlib.Path],
+    root: str | pathlib.Path | None = None,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintReport:
+    """Lint files and directories; the library entry point behind the CLI."""
+    base = pathlib.Path(root) if root is not None else pathlib.Path.cwd()
+    rules = _selected(select, ignore)
+    files = iter_python_files([pathlib.Path(p) for p in paths])
+    findings: list[Finding] = []
+    suppressed = 0
+    for path in files:
+        file_findings, file_suppressed = lint_file(path, base, rules)
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    findings.sort()
+    return LintReport(findings=findings, files=len(files), suppressed=suppressed)

@@ -1,0 +1,12 @@
+"""Project-specific rule catalogue.
+
+Importing this package registers every rule with the framework
+registry; :func:`repro.devtools.framework.all_rules` does so lazily.
+The catalogue with per-rule rationale lives in docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+from . import contracts, determinism, errors, rng, style, telemetry
+
+__all__ = ["contracts", "determinism", "errors", "rng", "style", "telemetry"]

@@ -1,0 +1,166 @@
+"""Determinism-hazard rules (DET0xx).
+
+The regression suites assert bit-identical runs: serial vs sharded
+sweeps, telemetry on vs off.  Anything that lets wall-clock time,
+hash-order iteration or the process environment leak into a decision
+path silently voids those guarantees — each hazard below has a stable
+code so a *justified* use can carry a ``# repro: noqa[DETxxx]`` with
+its reason, and everything else fails the gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..framework import FileContext, Rule, dotted_name, rule
+
+__all__ = [
+    "BanEnvironReads",
+    "BanPopitem",
+    "BanSetIteration",
+    "BanWallClock",
+]
+
+_CLOCK_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+#: Packages where results must be a pure function of (inputs, seed).
+_SEED_PURE_PACKAGES = ("coloring", "sinr", "simulation", "mac")
+
+
+def _names_imported_from_time(ctx: FileContext) -> frozenset[str]:
+    imported = set()
+    for node in ctx.walk():
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_ATTRS:
+                    imported.add(alias.asname or alias.name)
+    return frozenset(imported)
+
+
+@rule
+class BanWallClock(Rule):
+    code = "DET001"
+    name = "no wall-clock reads outside telemetry"
+    rationale = (
+        "clock reads differ run to run; outside telemetry/, benchmarks/ "
+        "and tools/ they are either dead or a nondeterminism leak — "
+        "profiling hooks elsewhere must carry a justified noqa"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.within("telemetry", "benchmarks", "tools"):
+            return
+        from_time = _names_imported_from_time(ctx)
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            flagged = (
+                (name in from_time)
+                or (name.startswith("time.") and name[5:] in _CLOCK_ATTRS)
+                or name in ("datetime.now", "datetime.utcnow")
+                or (
+                    name.startswith("datetime.datetime.")
+                    and name.rsplit(".", 1)[1] in ("now", "utcnow")
+                )
+            )
+            if flagged:
+                yield self.finding(
+                    ctx, node, f"wall-clock read `{name}()`; " + self.rationale
+                )
+
+
+def _iteration_targets(node: ast.AST) -> Iterator[ast.expr]:
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        yield node.iter
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        for generator in node.generators:
+            yield generator.iter
+
+
+@rule
+class BanSetIteration(Rule):
+    code = "DET002"
+    name = "no iteration over bare sets in seed-pure packages"
+    rationale = (
+        "set iteration order depends on insertion history and hash "
+        "seeds; iterate sorted(...) so per-node traversal order is a "
+        "function of the data alone"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.within(*_SEED_PURE_PACKAGES):
+            return
+        for node in ctx.walk():
+            for target in _iteration_targets(node):
+                if isinstance(target, ast.Set):
+                    yield self.finding(
+                        ctx, target, "iteration over a set literal; " + self.rationale
+                    )
+                elif (
+                    isinstance(target, ast.Call)
+                    and isinstance(target.func, ast.Name)
+                    and target.func.id in ("set", "frozenset")
+                ):
+                    yield self.finding(
+                        ctx,
+                        target,
+                        f"iteration over `{target.func.id}(...)`; " + self.rationale,
+                    )
+
+
+@rule
+class BanPopitem(Rule):
+    code = "DET003"
+    name = "no dict.popitem"
+    rationale = (
+        "popitem() couples control flow to container insertion order; "
+        "pop an explicit key (OrderedDict FIFO eviction may carry a "
+        "justified noqa)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "popitem"
+            ):
+                yield self.finding(ctx, node, "`.popitem()` call; " + self.rationale)
+
+
+@rule
+class BanEnvironReads(Rule):
+    code = "DET004"
+    name = "no environment reads outside the CLI boundary"
+    rationale = (
+        "os.environ makes a run's outcome depend on invisible ambient "
+        "state; read the environment in cli.py or benchmarks/ and pass "
+        "the value down as an explicit parameter"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.name == "cli.py" or ctx.within("benchmarks"):
+            return
+        for node in ctx.walk():
+            if isinstance(node, ast.Attribute) and dotted_name(node) == "os.environ":
+                yield self.finding(ctx, node, "`os.environ` access; " + self.rationale)
+            elif (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) == "os.getenv"
+            ):
+                yield self.finding(ctx, node, "`os.getenv()` call; " + self.rationale)

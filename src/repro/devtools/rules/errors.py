@@ -1,0 +1,81 @@
+"""Error-discipline rules (ERR0xx).
+
+A reproduction's failure modes must be loud: a swallowed exception in a
+simulation or orchestration path turns a crashed configuration into a
+silently wrong table row.  Catch the narrowest exception that the code
+can actually handle, and never discard one without recording it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..framework import FileContext, Rule, rule
+
+__all__ = ["NoBareExcept", "NoSwallowedBroadExcept"]
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _broad_names(handler: ast.ExceptHandler) -> list[str]:
+    node = handler.type
+    candidates = (
+        node.elts if isinstance(node, ast.Tuple) else [node] if node else []
+    )
+    names = []
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD:
+            names.append(candidate.id)
+    return names
+
+
+def _body_discards(handler: ast.ExceptHandler) -> bool:
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass) or isinstance(statement, ast.Continue):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring or bare ... literal
+        return False
+    return True
+
+
+@rule
+class NoBareExcept(Rule):
+    code = "ERR001"
+    name = "no bare except"
+    rationale = (
+        "`except:` catches SystemExit and KeyboardInterrupt, breaking "
+        "Ctrl-C drains and masking real crashes; name the exception"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(ctx, node, "bare `except:`; " + self.rationale)
+
+
+@rule
+class NoSwallowedBroadExcept(Rule):
+    code = "ERR002"
+    name = "no silently swallowed broad except"
+    rationale = (
+        "`except Exception: pass` converts any bug into silent wrong "
+        "results; handle it, record it, or let it propagate"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _broad_names(node)
+            if names and _body_discards(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`except {names[0]}` whose body discards the error; "
+                    + self.rationale,
+                )

@@ -1,0 +1,128 @@
+"""RNG discipline rules (RNG0xx).
+
+Every stochastic component must draw from a :class:`numpy.random.Generator`
+derived from an explicit seed through :mod:`repro.simulation.rng`.  Global
+RNG state — the stdlib ``random`` module, ``np.random.<fn>`` module-level
+calls — or ad-hoc generator construction breaks the bit-for-bit run
+reproducibility the experiment suite asserts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..framework import FileContext, Rule, dotted_name, rule
+
+__all__ = ["BanStdlibRandom", "BanGlobalNumpyRandom", "RngConstructionSite"]
+
+#: ``np.random`` attributes that are generator *types/constructors*, not
+#: module-level global-state draws.  Constructors are RNG003's business.
+_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@rule
+class BanStdlibRandom(Rule):
+    code = "RNG001"
+    name = "no stdlib random"
+    rationale = (
+        "the stdlib random module is hidden process-global state; "
+        "use a seeded numpy Generator from repro.simulation.rng"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx, node, "stdlib `random` import; " + self.rationale
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.finding(
+                        ctx, node, "stdlib `random` import; " + self.rationale
+                    )
+
+
+@rule
+class BanGlobalNumpyRandom(Rule):
+    code = "RNG002"
+    name = "no np.random global-state calls"
+    rationale = (
+        "np.random module-level functions share one hidden global "
+        "BitGenerator; draw from an explicitly seeded Generator instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] not in _CONSTRUCTORS
+                ):
+                    yield self.finding(
+                        ctx, node, f"global-state RNG call `{name}()`; " + self.rationale
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _CONSTRUCTORS:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"`from numpy.random import {alias.name}` exposes "
+                                "the global BitGenerator; " + self.rationale,
+                            )
+
+
+@rule
+class RngConstructionSite(Rule):
+    code = "RNG003"
+    name = "generator construction only in simulation/rng.py"
+    rationale = (
+        "one construction site keeps every generator derived from an "
+        "explicit seed; ad-hoc default_rng()/SeedSequence() calls invite "
+        "seedless OS-entropy randomness"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_file("rng.py", under="simulation"):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            called = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if called in ("default_rng", "SeedSequence"):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{called}()` outside simulation/rng.py; use "
+                    "rng_from_seed()/spawn_generators() — " + self.rationale,
+                )

@@ -1,0 +1,54 @@
+"""Codebase-uniformity rules (FUT0xx).
+
+Mechanical conventions the whole tree follows; machine-enforced so they
+survive new files and new contributors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..framework import FileContext, Rule, rule
+
+__all__ = ["RequireFutureAnnotations"]
+
+
+@rule
+class RequireFutureAnnotations(Rule):
+    code = "FUT001"
+    name = "modules start with `from __future__ import annotations`"
+    rationale = (
+        "postponed evaluation keeps annotations cheap and lets every "
+        "module use the same modern annotation syntax on every "
+        "supported interpreter; a uniform tree has no surprises when "
+        "code moves between files"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None:
+            return
+        statements = [
+            node
+            for node in ctx.tree.body
+            if not (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            )
+        ]
+        if not statements:
+            return  # empty or docstring-only module
+        for node in statements:
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "__future__"
+                and any(alias.name == "annotations" for alias in node.names)
+            ):
+                return
+        yield self.finding(
+            ctx,
+            statements[0],
+            "missing `from __future__ import annotations`; " + self.rationale,
+        )

@@ -1,0 +1,50 @@
+"""Artifact-schema rules (TEL0xx).
+
+Every on-disk artifact the library writes stamps a ``repro.<name>/<N>``
+schema identifier in its header; readers validate it before trusting a
+file.  That protocol only works while writers and readers agree on the
+current major version — which is why the identifiers are defined once,
+in :mod:`repro.schemas`, and nowhere else.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..findings import Finding
+from ..framework import FileContext, Rule, rule
+
+__all__ = ["SchemaStringsCentralised"]
+
+_SCHEMA_SHAPE = re.compile(r"repro\.[a-z_]+/[0-9]+")
+
+
+@rule
+class SchemaStringsCentralised(Rule):
+    code = "TEL001"
+    name = "schema identifiers live in repro/schemas.py"
+    rationale = (
+        "a schema literal duplicated at a writer site can drift from "
+        "the canonical version and silently produce artifacts readers "
+        "reject (or worse, misread); import the constant instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_file("schemas.py", under="repro") or ctx.is_file(
+            "schemas.py", under="src"
+        ):
+            return
+        for node in ctx.walk():
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _SCHEMA_SHAPE.fullmatch(node.value)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"schema literal {node.value!r} outside repro/schemas.py; "
+                    + self.rationale,
+                )

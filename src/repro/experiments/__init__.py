@@ -21,6 +21,8 @@ and scripts can call them directly:
 the ``python -m repro experiment`` CLI command).
 """
 
+from __future__ import annotations
+
 from . import (
     exp01_colors_vs_delta,
     exp02_time_scaling,
@@ -53,6 +55,19 @@ REGISTRY = {
     "exp13": exp13_wakeup_patterns,
 }
 
-__all__ = ["REGISTRY"] + [
-    module.__name__.split(".")[-1] for module in REGISTRY.values()
+__all__ = [
+    "REGISTRY",
+    "exp01_colors_vs_delta",
+    "exp02_time_scaling",
+    "exp03_independence",
+    "exp04_interference_bound",
+    "exp05_tdma_mac",
+    "exp06_srs_simulation",
+    "exp07_palette_reduction",
+    "exp08_model_comparison",
+    "exp09_scale_ablation",
+    "exp10_physical_sweep",
+    "exp11_loss_robustness",
+    "exp12_unknown_delta",
+    "exp13_wakeup_patterns",
 ]

@@ -22,7 +22,11 @@ COLUMNS = [
 DEFAULT_EXTENTS = (9.0, 6.5, 5.0, 4.2)
 DEFAULT_N = 100
 
-__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single", "units"]
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {"extent": DEFAULT_EXTENTS}
+
+__all__ = ["COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(seed: int, extent: float, n: int = DEFAULT_N) -> dict:

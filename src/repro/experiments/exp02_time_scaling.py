@@ -21,8 +21,13 @@ TITLE = TITLE_VS_N
 COLUMNS = ["seed", "delta", "shape", "slots", "slots_per_shape", "completed", "proper"]
 DENSITY = 100 / 36.0  # nodes per unit^2 of the n=100, extent-6 baseline
 
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {"n": (50, 100, 200), "extent": (9.0, 6.5, 5.0)}
+
 __all__ = [
     "COLUMNS",
+    "GRID",
     "TITLE",
     "TITLE_VS_DELTA",
     "TITLE_VS_N",

@@ -21,7 +21,11 @@ COLUMNS = [
 ]
 FAMILIES = ("uniform", "clustered")
 
-__all__ = ["COLUMNS", "FAMILIES", "TITLE", "check", "run", "run_single", "units"]
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {"family": FAMILIES}
+
+__all__ = ["COLUMNS", "GRID", "FAMILIES", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(seed: int, family: str) -> dict:

@@ -24,7 +24,11 @@ COLUMNS = [
 ]
 DEFAULT_BOUNDARIES = (2.0, 4.0, 8.0)
 
-__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single", "units"]
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {}
+
+__all__ = ["COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
 
 
 class _MeterBank:

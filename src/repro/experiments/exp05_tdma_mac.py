@@ -28,7 +28,11 @@ COLUMNS = [
 DEFAULT_N = 130
 DEFAULT_EXTENT = 7.0
 
-__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single", "units"]
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {}
+
+__all__ = ["COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
 
 
 def _audit_distance(graph, params, k: float) -> dict:

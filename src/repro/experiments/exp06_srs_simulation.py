@@ -36,7 +36,11 @@ ALGORITHMS = {
     "leader-election": lambda n: [MaxIdLeaderElection(rounds=25) for _ in range(n)],
 }
 
-__all__ = ["ALGORITHMS", "COLUMNS", "TITLE", "check", "run", "run_single", "units"]
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {"algorithm": tuple(ALGORITHMS)}
+
+__all__ = ["ALGORITHMS", "COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
 
 
 def _outputs_equivalent(algorithm, graph, simulated, native) -> bool:

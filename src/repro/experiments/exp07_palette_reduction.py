@@ -23,7 +23,11 @@ COLUMNS = [
     "delta_plus_1", "slots", "lost", "proper",
 ]
 
-__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single", "units"]
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {}
+
+__all__ = ["COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(seed: int, params: PhysicalParams | None = None) -> dict:

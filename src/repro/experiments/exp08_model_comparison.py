@@ -21,7 +21,11 @@ COLUMNS = [
 ]
 CHANNELS = ("sinr", "graph")
 
-__all__ = ["CHANNELS", "COLUMNS", "TITLE", "check", "run", "run_single", "units"]
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {"channel": CHANNELS}
+
+__all__ = ["CHANNELS", "COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(seed: int, channel: str) -> dict:

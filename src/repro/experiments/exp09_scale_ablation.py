@@ -22,7 +22,11 @@ COLUMNS = [
 ]
 DEFAULT_SCALES = (1.0, 0.5, 0.25, 0.12)
 
-__all__ = ["COLUMNS", "DEFAULT_SCALES", "TITLE", "check", "run", "run_single", "units"]
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {"scale": DEFAULT_SCALES}
+
+__all__ = ["COLUMNS", "GRID", "DEFAULT_SCALES", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(

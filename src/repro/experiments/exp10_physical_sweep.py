@@ -25,7 +25,11 @@ COLUMNS = [
 DEFAULT_ALPHAS = (2.5, 3.0, 4.0, 6.0)
 DEFAULT_BETAS = (1.0, 2.0)
 
-__all__ = ["COLUMNS", "TITLE", "check", "run", "run_single", "units"]
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {"alpha": DEFAULT_ALPHAS, "beta": DEFAULT_BETAS}
+
+__all__ = ["COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(alpha: float, beta: float, seed: int = 0, rho: float = 2.0) -> dict:

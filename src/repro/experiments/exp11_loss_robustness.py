@@ -19,7 +19,11 @@ TITLE = "EXP-11: MW under injected Bernoulli loss (extension)"
 COLUMNS = ["drop", "seed", "slots", "proper", "clean", "completed", "ok", "dropped"]
 DEFAULT_DROPS = (0.0, 0.15, 0.3, 0.45)
 
-__all__ = ["COLUMNS", "DEFAULT_DROPS", "TITLE", "check", "run", "run_single", "units"]
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {"drop": DEFAULT_DROPS}
+
+__all__ = ["COLUMNS", "GRID", "DEFAULT_DROPS", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(

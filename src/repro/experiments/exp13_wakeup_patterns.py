@@ -26,7 +26,11 @@ COLUMNS = [
 PATTERNS = ("synchronous", "random", "staggered")
 DEFAULT_N = 80
 
-__all__ = ["COLUMNS", "PATTERNS", "TITLE", "check", "run", "run_single", "units"]
+#: Default sweep axes beyond ``seeds`` (axis -> values), mirroring the
+#: ``units()`` defaults; empty when seeds are the only swept axis.
+GRID = {"pattern": PATTERNS}
+
+__all__ = ["COLUMNS", "GRID", "PATTERNS", "TITLE", "check", "run", "run_single", "units"]
 
 
 def _make_schedule(pattern: str, n: int, seed: int) -> WakeupSchedule:

@@ -13,6 +13,8 @@ about nodes placed in the Euclidean plane:
   and an empirical estimator for it.
 """
 
+from __future__ import annotations
+
 from .deployment import (
     Deployment,
     clustered_deployment,

@@ -24,6 +24,7 @@ import math
 import numpy as np
 
 from .._validation import require_nonnegative, require_positive
+from ..simulation.rng import rng_from_seed
 from .grid_index import GridIndex
 from .point import as_positions
 
@@ -82,7 +83,7 @@ def phi_empirical(
     index = GridIndex(positions, cell_size=max(radius, r_t))
     centers = np.arange(len(positions))
     if sample is not None and sample < len(centers):
-        rng = np.random.default_rng(seed)
+        rng = rng_from_seed(seed)
         centers = rng.choice(centers, size=sample, replace=False)
     best = 0
     for center in centers:

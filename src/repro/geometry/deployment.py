@@ -24,6 +24,7 @@ import numpy as np
 
 from .._validation import require_int, require_nonnegative, require_positive
 from ..errors import DeploymentError
+from ..simulation.rng import rng_from_seed
 from .point import as_positions
 
 __all__ = [
@@ -92,7 +93,7 @@ def uniform_deployment(n: int, extent: float, seed: int) -> Deployment:
     """``n`` points i.i.d. uniform in the square ``[0, extent]^2``."""
     require_int("n", n, minimum=1)
     require_positive("extent", extent)
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     positions = rng.uniform(0.0, extent, size=(n, 2))
     return Deployment(positions, extent, kind="uniform", seed=seed)
 
@@ -106,7 +107,7 @@ def poisson_deployment(intensity: float, extent: float, seed: int) -> Deployment
     """
     require_positive("intensity", intensity)
     require_positive("extent", extent)
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     n = int(rng.poisson(intensity * extent * extent))
     if n == 0:
         raise DeploymentError(
@@ -142,7 +143,7 @@ def perturbed_grid_deployment(
     """
     require_nonnegative("jitter", jitter)
     base = grid_deployment(side, spacing)
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     offsets = rng.uniform(-jitter, jitter, size=base.positions.shape)
     return Deployment(
         base.positions + offsets,
@@ -171,7 +172,7 @@ def clustered_deployment(
     require_int("points_per_cluster", points_per_cluster, minimum=1)
     require_positive("extent", extent)
     require_positive("cluster_radius", cluster_radius)
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     centers = rng.uniform(0.0, extent, size=(clusters, 2))
     offsets = rng.normal(
         0.0, cluster_radius, size=(clusters, points_per_cluster, 2)
@@ -203,7 +204,7 @@ def corridor_deployment(
     require_int("n", n, minimum=1)
     require_positive("length", length)
     require_positive("width", width)
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     xs = rng.uniform(0.0, length, size=n)
     ys = rng.uniform(0.0, width, size=n)
     return Deployment(
@@ -227,7 +228,7 @@ def ring_deployment(
     require_int("n", n, minimum=1)
     require_positive("radius", radius)
     require_nonnegative("jitter", jitter)
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, size=n))
     radii = radius + rng.normal(0.0, jitter, size=n) if jitter else np.full(n, radius)
     positions = np.column_stack(

@@ -8,6 +8,8 @@
   distance-``d`` validity checking.
 """
 
+from __future__ import annotations
+
 from .bfs import bfs_distances, bfs_tree, diameter, eccentricity
 from .coloring import Coloring
 from .independent import greedy_mis, is_independent_set, violating_pairs

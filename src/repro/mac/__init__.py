@@ -8,6 +8,8 @@
   algorithms over the TDMA schedule (Corollary 1).
 """
 
+from __future__ import annotations
+
 from .aloha import AlohaReport, run_slotted_aloha
 from .pipeline import MacLayer, build_mac_layer
 from .srs import SRSReport, simulate_general_algorithm, simulate_uniform_algorithm

@@ -19,6 +19,7 @@ from .._validation import require_int, require_probability
 from ..graphs.udg import UnitDiskGraph
 from ..sinr.channel import SINRChannel, Transmission
 from ..sinr.params import PhysicalParams
+from ..simulation.rng import rng_from_seed
 
 __all__ = ["AlohaReport", "run_slotted_aloha"]
 
@@ -65,7 +66,7 @@ def run_slotted_aloha(
     require_probability("probability", probability)
     require_int("max_slots", max_slots, minimum=0)
     channel = SINRChannel(graph.positions, params)
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     pending: set[tuple[int, int]] = set()
     for u in range(graph.n):
         for v in graph.neighbors(u):

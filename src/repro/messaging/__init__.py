@@ -9,6 +9,8 @@
   max-id leader election.
 """
 
+from __future__ import annotations
+
 from .algorithms import (
     BFSTreeAlgorithm,
     ConvergecastSum,

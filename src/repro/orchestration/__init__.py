@@ -30,6 +30,8 @@ scaling.
     rows = merged_rows(result)        # == exp1.run() row for row
 """
 
+from __future__ import annotations
+
 from .aggregate import check_merged, merged_rows, write_merged_artifact
 from .executor import SweepResult, run_sharded
 from .plan import Shard, config_hash, plan_shards

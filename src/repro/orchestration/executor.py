@@ -25,6 +25,7 @@ immediately.  Library callers can trigger the same drain by setting the
 from __future__ import annotations
 
 import importlib
+import inspect
 import pathlib
 import threading
 import time
@@ -116,10 +117,21 @@ def _resolve_units(
             f"{module_path} does not expose units(); not a shardable experiment"
         )
     if unit_kwargs:
-        try:
-            return list(module.units(**unit_kwargs))
-        except TypeError:
-            pass
+        # pass only the overrides units() actually accepts — inspecting the
+        # signature instead of catching TypeError keeps a TypeError raised
+        # *inside* units() loud instead of silently re-planning the sweep
+        # with default parameters
+        parameters = inspect.signature(module.units).parameters
+        accepts_kwargs = any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+        supported = {
+            key: value
+            for key, value in unit_kwargs.items()
+            if accepts_kwargs or key in parameters
+        }
+        return list(module.units(**supported))
     return list(module.units())
 
 
@@ -183,7 +195,7 @@ def run_sharded(
         store_dir=store.run_dir(experiment, cfg_hash) if store else None,
     )
     say = progress or (lambda message: None)
-    began = time.perf_counter()
+    began = time.perf_counter()  # repro: noqa[DET001] wall-clock provenance only; rows are unaffected
 
     pending: list[Shard] = list(shards)
     if store is not None:
@@ -321,7 +333,7 @@ def run_sharded(
 
             signal.signal(signal.SIGINT, previous_handler)
 
-    result.wall_s = time.perf_counter() - began
+    result.wall_s = time.perf_counter() - began  # repro: noqa[DET001] wall-clock provenance only; rows are unaffected
     if result.interrupted and store is not None:
         say(
             f"interrupted: {len(result.records)}/{len(shards)} shards "

@@ -26,12 +26,14 @@ import pathlib
 from typing import Sequence
 
 from ..errors import ConfigurationError
+from ..schemas import ORCHESTRATION_SCHEMA
 
 __all__ = ["RunStore", "STORE_SCHEMA"]
 
-#: Store format version; bump the major number on breaking layout changes.
-#: Participates in the config hash, so old results never match a new schema.
-STORE_SCHEMA = "repro.orchestration/1"
+#: Store format version (defined in :mod:`repro.schemas`; bump the major
+#: number there on breaking layout changes).  Participates in the config
+#: hash, so old results never match a new schema.
+STORE_SCHEMA = ORCHESTRATION_SCHEMA
 
 
 def _atomic_write(path: pathlib.Path, text: str) -> None:

@@ -12,6 +12,8 @@ provides:
 * :mod:`repro.simulation.rng` — deterministic seed fan-out.
 """
 
+from __future__ import annotations
+
 from .node import NodeProcess, SlotApi
 from .rng import spawn_generators, spawn_seed_sequences
 from .scheduler import WakeupSchedule

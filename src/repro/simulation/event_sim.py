@@ -284,7 +284,7 @@ class EventSimulator:
 
     def _process_slot(self, slot: int) -> None:
         profiler = self._profiler
-        t0 = perf_counter() if profiler is not None else 0.0
+        t0 = perf_counter() if profiler is not None else 0.0  # repro: noqa[DET001] profiler timing; never a decision input
         wakes: list[int] = []
         timers: list[int] = []
         tx_candidates: list[int] = []
@@ -316,13 +316,13 @@ class EventSimulator:
             if payload is not None:
                 transmissions.append(Transmission(sender=node, payload=payload))
 
-        t1 = perf_counter() if profiler is not None else 0.0
+        t1 = perf_counter() if profiler is not None else 0.0  # repro: noqa[DET001] profiler timing; never a decision input
         deliveries: list[Delivery] = []
         resolve_s = 0.0
         if transmissions:
             deliveries = self._channel.resolve(transmissions)
             if profiler is not None:
-                resolve_s = perf_counter() - t1
+                resolve_s = perf_counter() - t1  # repro: noqa[DET001] profiler timing; never a decision input
             # Sleeping radios are off: deliveries to not-yet-woken nodes are
             # dropped (the paper's nodes wake spontaneously, never by message).
             deliveries = [d for d in deliveries if self._awake[d.receiver]]
@@ -332,11 +332,11 @@ class EventSimulator:
                     delivery.sender,
                     delivery.payload,
                 )
-        t2 = perf_counter() if profiler is not None else 0.0
+        t2 = perf_counter() if profiler is not None else 0.0  # repro: noqa[DET001] profiler timing; never a decision input
         for observer in self._observers:
             observer.on_slot_end(slot, transmissions, deliveries)
         if profiler is not None:
-            t3 = perf_counter()
+            t3 = perf_counter()  # repro: noqa[DET001] profiler timing; never a decision input
             profiler.record_slot(
                 slot,
                 node_s=(t1 - t0) + (t2 - t1 - resolve_s),

@@ -13,7 +13,20 @@ import numpy as np
 
 from .._validation import require_int
 
-__all__ = ["spawn_generators", "spawn_seed_sequences"]
+__all__ = ["rng_from_seed", "spawn_generators", "spawn_seed_sequences"]
+
+
+def rng_from_seed(seed: int) -> np.random.Generator:
+    """The generator for an explicit ``seed``.
+
+    The only sanctioned :func:`numpy.random.default_rng` construction
+    site outside this module's spawn helpers: every component that takes
+    a ``seed`` parameter builds its generator here, so the ``RNG003``
+    lint rule (docs/STATIC_ANALYSIS.md) can reject ad-hoc — and in
+    particular seedless, OS-entropy — generator construction anywhere
+    else in the tree.
+    """
+    return np.random.default_rng(seed)
 
 
 def spawn_seed_sequences(seed: int, count: int) -> list[np.random.SeedSequence]:

@@ -18,6 +18,7 @@ import numpy as np
 
 from .._validation import require_int, require_nonnegative
 from ..errors import ConfigurationError
+from .rng import rng_from_seed
 
 __all__ = ["WakeupSchedule"]
 
@@ -47,7 +48,7 @@ class WakeupSchedule:
         """Each node wakes at an i.i.d. uniform slot in ``[0, max_delay]``."""
         require_int("n", n, minimum=0)
         require_int("max_delay", max_delay, minimum=0)
-        rng = np.random.default_rng(seed)
+        rng = rng_from_seed(seed)
         return cls(rng.integers(0, max_delay + 1, size=n, dtype=np.int64))
 
     @classmethod

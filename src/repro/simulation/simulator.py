@@ -149,7 +149,7 @@ class SlotSimulator:
         """Execute exactly one slot; returns its transmissions and deliveries."""
         slot = self._slot
         profiler = self._profiler
-        t0 = perf_counter() if profiler is not None else 0.0
+        t0 = perf_counter() if profiler is not None else 0.0  # repro: noqa[DET001] profiler timing; never a decision input
 
         for node in self._schedule.waking_now(slot):
             node = int(node)
@@ -163,11 +163,11 @@ class SlotSimulator:
             if payload is not None:
                 transmissions.append(Transmission(sender=node, payload=payload))
 
-        t1 = perf_counter() if profiler is not None else 0.0
+        t1 = perf_counter() if profiler is not None else 0.0  # repro: noqa[DET001] profiler timing; never a decision input
         # Silent slots skip the channel entirely — resolution cost is paid
         # only when someone actually transmits.
         deliveries = self._channel.resolve(transmissions) if transmissions else []
-        t2 = perf_counter() if profiler is not None else 0.0
+        t2 = perf_counter() if profiler is not None else 0.0  # repro: noqa[DET001] profiler timing; never a decision input
         # Sleeping radios are off: deliveries to not-yet-woken nodes are
         # dropped (the paper's nodes wake spontaneously, never by message).
         if deliveries:
@@ -178,12 +178,12 @@ class SlotSimulator:
                 self._api(delivery.receiver, slot), delivery.sender, delivery.payload
             )
 
-        t3 = perf_counter() if profiler is not None else 0.0
+        t3 = perf_counter() if profiler is not None else 0.0  # repro: noqa[DET001] profiler timing; never a decision input
         for observer in self._observers:
             observer.on_slot_end(slot, transmissions, deliveries)
 
         if profiler is not None:
-            t4 = perf_counter()
+            t4 = perf_counter()  # repro: noqa[DET001] profiler timing; never a decision input
             profiler.record_slot(
                 slot,
                 node_s=(t1 - t0) + (t3 - t2),

@@ -13,6 +13,8 @@
   to validate Lemma 3 empirically.
 """
 
+from __future__ import annotations
+
 from .channel import (
     Channel,
     CollisionFreeChannel,

@@ -257,7 +257,7 @@ class ResolutionEngine:
         geometry = SlotGeometry(senders, self._distance_sq(senders))
         self._cache[key] = geometry
         if len(self._cache) > self._cache_slots:
-            self._cache.popitem(last=False)
+            self._cache.popitem(last=False)  # repro: noqa[DET003] OrderedDict FIFO eviction is deterministic
         return geometry
 
     def _distance_sq(self, senders: np.ndarray) -> np.ndarray:

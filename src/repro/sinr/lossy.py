@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from .._validation import require_probability
+from ..simulation.rng import rng_from_seed
 from .channel import Channel, Delivery, Transmission
 
 __all__ = ["LossyChannel"]
@@ -33,7 +34,7 @@ class LossyChannel(Channel):
         require_probability("drop", drop)
         self._inner = inner
         self._drop = float(drop)
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng_from_seed(seed)
         self._dropped = 0
         self._passed = 0
         self._m_dropped = None

@@ -32,6 +32,7 @@ measured overhead.
 from __future__ import annotations
 
 import pathlib
+from typing import Any
 
 from .jsonl import SCHEMA, RunArtifact, TelemetryWriter, read_run
 from .profiler import SlotProfile, SlotProfiler
@@ -89,7 +90,7 @@ class Telemetry:
         self.trace = bool(trace)
         self.meta = dict(meta or {})
 
-    def attach_channel(self, channel) -> None:
+    def attach_channel(self, channel: Any) -> None:
         """Instrument ``channel`` (and its engine) if metrics are on."""
         if self.metrics.enabled:
             channel.attach_metrics(self.metrics)
@@ -97,7 +98,7 @@ class Telemetry:
     def export(
         self,
         command: str,
-        trace=None,
+        trace: Any = None,
         summary: dict | None = None,
         rows: list[dict] | None = None,
     ) -> pathlib.Path | None:
@@ -123,7 +124,9 @@ class Telemetry:
                 writer.summary(summary)
         return self.out
 
-    def export_coloring(self, result, command: str = "color") -> pathlib.Path | None:
+    def export_coloring(
+        self, result: Any, command: str = "color"
+    ) -> pathlib.Path | None:
         """Export one MW-coloring run (called by the runner when ``out`` set).
 
         The summary embeds ``n``, ``leaders`` and ``decision_slots`` so

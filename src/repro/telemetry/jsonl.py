@@ -32,14 +32,16 @@ from dataclasses import dataclass, field
 from typing import Any, IO
 
 from ..errors import ConfigurationError
+from ..schemas import TELEMETRY_SCHEMA
 from .profiler import SlotProfiler
 from .registry import MetricsRegistry
 
 __all__ = ["RunArtifact", "SCHEMA", "TelemetryWriter", "read_run"]
 
-#: Schema identifier written in every header; bump the major number on
-#: breaking record-shape changes.
-SCHEMA = "repro.telemetry/1"
+#: Schema identifier written in every header (defined in
+#: :mod:`repro.schemas`; bump the major number there on breaking
+#: record-shape changes).
+SCHEMA = TELEMETRY_SCHEMA
 
 
 def _jsonable(value: Any) -> Any:

@@ -1,0 +1,4 @@
+"""LNT001 fixture: deliberately unparseable."""
+
+def broken(:
+    return

@@ -1,0 +1,7 @@
+"""Clean fixture: violates nothing; the CLI must exit 0 on it."""
+
+from __future__ import annotations
+
+
+def double(value: int) -> int:
+    return 2 * value

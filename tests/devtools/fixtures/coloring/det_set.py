@@ -1,0 +1,10 @@
+"""DET002 fixture: bare-set iteration in a seed-pure package."""
+
+from __future__ import annotations
+
+
+def traverse(items: list[int]) -> list[int]:
+    out = []
+    for value in {1, 2, 3}:
+        out.append(value)
+    return out + [v for v in set(items)]

@@ -1,0 +1,11 @@
+"""DET001 fixture: wall-clock reads outside telemetry/benchmarks/tools."""
+
+from __future__ import annotations
+
+import time
+from time import perf_counter
+
+
+def stamp() -> float:
+    began = perf_counter()
+    return time.time() - began

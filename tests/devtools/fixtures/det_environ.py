@@ -1,0 +1,9 @@
+"""DET004 fixture: environment reads outside the CLI boundary."""
+
+from __future__ import annotations
+
+import os
+
+
+def configure() -> tuple[str | None, str]:
+    return os.getenv("REPRO_JOBS"), os.environ["HOME"]

@@ -1,0 +1,7 @@
+"""DET003 fixture: dict.popitem."""
+
+from __future__ import annotations
+
+
+def evict(cache: dict) -> object:
+    return cache.popitem()

@@ -1,0 +1,7 @@
+"""DET002 exemption fixture: set iteration outside the seed-pure packages."""
+
+from __future__ import annotations
+
+
+def traverse(items: list[int]) -> list[int]:
+    return [v for v in set(items)]

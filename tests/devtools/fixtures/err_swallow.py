@@ -1,0 +1,29 @@
+"""ERR001/ERR002 fixture: bare and silently swallowed excepts."""
+
+from __future__ import annotations
+
+
+def risky(fn) -> object | None:
+    try:
+        return fn()
+    except:  # ERR001
+        pass
+
+
+def swallow(fn) -> None:
+    try:
+        fn()
+    except Exception:  # ERR002
+        pass
+    try:
+        fn()
+    except (ValueError, BaseException):  # ERR002 (tuple form)
+        ...
+    try:
+        fn()
+    except ValueError:  # narrow: allowed
+        pass
+    try:
+        fn()
+    except Exception as failure:  # broad but recorded: allowed
+        print(failure)

@@ -1,0 +1,24 @@
+"""EXP002/EXP003 fixture: full exports, but run() hand-rolls the sweep
+with a signature that drifted from units()."""
+
+from __future__ import annotations
+
+TITLE = "EXP-98: deliberately drifted"
+COLUMNS = ["seed", "value"]
+GRID: dict = {}
+
+
+def units(seeds=(0, 1)) -> list[dict]:
+    return [{"func": "run_single", "kwargs": {"seed": seed}} for seed in seeds]
+
+
+def run_single(seed: int) -> dict:
+    return {"seed": seed, "value": seed * 2}
+
+
+def run(seeds=(0, 1), extra: int = 0) -> list[dict]:
+    return [run_single(seed + extra) for seed in seeds]
+
+
+def check(rows) -> None:
+    assert rows

@@ -1,0 +1,5 @@
+"""EXP001 fixture: experiment module missing most of the contract."""
+
+from __future__ import annotations
+
+TITLE = "EXP-99: deliberately incomplete"

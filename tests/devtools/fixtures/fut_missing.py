@@ -1,0 +1,3 @@
+"""FUT001 fixture: module body without the future-annotations import."""
+
+VALUE = 1

@@ -1,0 +1,9 @@
+"""Suppression fixture: violations carrying justified noqa comments."""
+
+from __future__ import annotations
+
+import random  # repro: noqa[RNG001] fixture: suppression must be honoured
+
+
+def evict(cache: dict) -> object:
+    return cache.popitem()  # repro: noqa[DET003, RNG001] multi-code form

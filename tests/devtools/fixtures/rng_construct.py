@@ -1,0 +1,10 @@
+"""RNG003 fixture: ad-hoc generator construction outside simulation/rng.py."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def build() -> object:
+    sequence = np.random.SeedSequence(7)
+    return np.random.default_rng(sequence)

@@ -1,0 +1,11 @@
+"""RNG002 fixture: global-state numpy RNG use."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.random import randint
+
+
+def draw() -> object:
+    randint(3)
+    return np.random.normal(size=4)

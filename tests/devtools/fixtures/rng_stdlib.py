@@ -1,0 +1,11 @@
+"""RNG001 fixture: stdlib random imports."""
+
+from __future__ import annotations
+
+import random
+from random import shuffle
+
+
+def draw() -> float:
+    shuffle([])
+    return random.random()

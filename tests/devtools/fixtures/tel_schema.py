@@ -1,0 +1,6 @@
+"""TEL001 fixture: a schema literal duplicated outside repro/schemas.py."""
+
+from __future__ import annotations
+
+SCHEMA = "repro.telemetry/1"
+NOT_A_SCHEMA = "repro.telemetry/1 with trailing words"

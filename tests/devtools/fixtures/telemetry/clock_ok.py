@@ -1,0 +1,9 @@
+"""DET001 exemption fixture: telemetry/ may read the clock."""
+
+from __future__ import annotations
+
+import time
+
+
+def stamp() -> float:
+    return time.perf_counter()

@@ -1,0 +1,87 @@
+"""CLI tests: exit codes, JSON output, suppression, the repro front end."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.devtools.cli import main
+from repro.devtools.findings import Finding
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def test_exit_zero_on_clean_file(capsys):
+    assert main([str(FIXTURES / "clean_module.py")]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s) in 1 file(s)" in out
+
+
+def test_exit_one_on_findings(capsys):
+    assert main([str(FIXTURES / "det_popitem.py")]) == 1
+    out = capsys.readouterr().out
+    assert "DET003" in out
+    assert "det_popitem.py" in out
+
+
+def test_noqa_honoured_and_reported(capsys):
+    assert main([str(FIXTURES / "noqa_ok.py")]) == 0
+    out = capsys.readouterr().out
+    assert "(2 suppressed)" in out
+
+
+def test_json_output_round_trips(capsys):
+    code = main(["--format", "json", str(FIXTURES / "det_popitem.py")])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files"] == 1
+    findings = [Finding.from_json(item) for item in payload["findings"]]
+    assert [f.code for f in findings] == ["DET003"]
+    assert findings[0].line > 0 and findings[0].col > 0
+
+
+def test_select_and_ignore(capsys):
+    # err_swallow.py violates ERR001 and ERR002; selecting one hides the other
+    assert main(["--select", "ERR001", str(FIXTURES / "err_swallow.py")]) == 1
+    assert "ERR002" not in capsys.readouterr().out
+    assert main(["--ignore", "ERR001,ERR002", str(FIXTURES / "err_swallow.py")]) == 0
+    capsys.readouterr()
+
+
+def test_unknown_rule_code_is_usage_error(capsys):
+    assert main(["--select", "NOPE99", str(FIXTURES / "clean_module.py")]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main([str(FIXTURES / "does_not_exist")]) == 2
+    assert "does_not_exist" in capsys.readouterr().err
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RNG001", "DET001", "EXP001", "TEL001", "ERR001", "FUT001"):
+        assert code in out
+
+
+def test_syntax_error_file_reports_lnt001(capsys):
+    assert main([str(FIXTURES / "broken_syntax.py")]) == 1
+    assert "LNT001" in capsys.readouterr().out
+
+
+def test_repro_cli_front_end(capsys):
+    from repro.cli import main as repro_main
+
+    assert repro_main(["lint", str(FIXTURES / "clean_module.py")]) == 0
+    capsys.readouterr()
+    assert repro_main(["lint", str(FIXTURES / "det_popitem.py")]) == 1
+    assert "DET003" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("flag", ["--select", "--ignore"])
+def test_code_lists_tolerate_spaces(flag, capsys):
+    assert main([flag, " DET003 , ERR001 ", str(FIXTURES / "clean_module.py")]) == 0
+    capsys.readouterr()

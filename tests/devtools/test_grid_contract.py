@@ -1,0 +1,40 @@
+"""GRID really describes the default sweep: axes match units() output.
+
+``GRID`` is the machine-readable sweep declaration EXP001 requires every
+experiment to export.  These tests pin it to the ground truth — the
+kwargs the module's default ``units()`` actually enumerates — so the two
+cannot drift apart silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import REGISTRY
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_grid_axes_match_default_units(name):
+    module = REGISTRY[name]
+    grid = module.GRID
+    assert isinstance(grid, dict)
+    units = module.units()
+    assert units, f"{name}: units() returned no work"
+    for axis, declared in grid.items():
+        seen = {
+            unit["kwargs"][axis]
+            for unit in units
+            if axis in unit["kwargs"]
+        }
+        assert seen == set(declared), (
+            f"{name}: GRID[{axis!r}] declares {sorted(map(repr, declared))} "
+            f"but default units() sweep {sorted(map(repr, seen))}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_grid_never_declares_the_seed_axis(name):
+    # seeds are orchestrated separately (units(seeds=...)); a GRID that
+    # declares them would double-sweep
+    grid = REGISTRY[name].GRID
+    assert "seed" not in grid and "seeds" not in grid

@@ -1,0 +1,32 @@
+"""The gate holds on the shipped tree: zero findings on src/tools/benchmarks.
+
+This is the same invocation CI runs (``repro lint src tools benchmarks``)
+as a library call, so a change that introduces a violation fails the test
+suite locally before it ever reaches CI.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.devtools import lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).parents[2]
+GATE_PATHS = [REPO_ROOT / name for name in ("src", "tools", "benchmarks")]
+
+
+def test_shipped_tree_is_lint_clean():
+    report = lint_paths(GATE_PATHS, root=REPO_ROOT)
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.clean, f"lint gate violations:\n{rendered}"
+    assert report.files > 100  # the gate really walked the tree
+
+
+def test_suppressions_are_bounded():
+    # Every suppression is a justified exception; a jump in this number
+    # means noqa is being used as an escape hatch. Update deliberately.
+    report = lint_paths(GATE_PATHS, root=REPO_ROOT)
+    assert report.suppressed <= 25, (
+        f"{report.suppressed} suppressions — audit new noqa comments "
+        "before raising this bound"
+    )

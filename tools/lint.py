@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Run the invariant linter from a bare checkout (no install needed).
+
+Equivalent to ``repro lint`` / ``python -m repro.devtools.cli``; exists
+so CI and pre-commit hooks can invoke the gate with nothing but a
+checkout and a Python interpreter::
+
+    python tools/lint.py src tools benchmarks
+
+See docs/STATIC_ANALYSIS.md for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.devtools.cli import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    sys.exit(main())

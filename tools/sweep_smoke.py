@@ -42,7 +42,7 @@ from repro.telemetry import read_run
 
 
 def _env() -> dict:
-    env = dict(os.environ)
+    env = dict(os.environ)  # repro: noqa[DET004] builds the child process environment
     env["PYTHONPATH"] = os.pathsep.join(
         [str(SRC), env.get("PYTHONPATH", "")]
     ).rstrip(os.pathsep)

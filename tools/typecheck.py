@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Run the strict mypy gate, skipping gracefully where mypy is absent.
+
+The typing gate is ``mypy --strict`` over ``src/repro`` with the
+configuration in ``pyproject.toml`` (global relaxations and the
+per-module exception list are documented there and in
+docs/STATIC_ANALYSIS.md).  This wrapper exists because the gate must be:
+
+* **blocking in CI** — ``python tools/typecheck.py --require`` exits 2
+  when mypy is not importable, so a mis-provisioned CI image fails loudly
+  instead of silently skipping the check;
+* **harmless locally** — contributors without mypy installed get a
+  one-line "skipped" notice and exit 0, so pre-commit chains and local
+  gate scripts do not force anyone to install the type checker.
+
+Exit codes: 0 clean (or skipped without ``--require``), 1 type errors,
+2 mypy unavailable under ``--require``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="typecheck", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="fail (exit 2) when mypy is not installed instead of skipping",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="paths to check (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+
+    if importlib.util.find_spec("mypy") is None:
+        if args.require:
+            print(
+                "typecheck: mypy is not installed but --require was given",
+                file=sys.stderr,
+            )
+            return 2
+        print("typecheck: mypy not installed; skipping (pip install mypy)")
+        return 0
+
+    command = [sys.executable, "-m", "mypy", "--strict", *args.paths]
+    completed = subprocess.run(command)
+    return completed.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
