@@ -44,6 +44,16 @@ from .errors import (
     ScheduleError,
     SimulationError,
 )
+from .faults import (
+    FaultPlan,
+    FaultyChannel,
+    Jammer,
+    MessageFaults,
+    NodeOutage,
+    SlotSkew,
+    WakeupSpec,
+    load_fault_plan,
+)
 from .geometry import (
     Deployment,
     clustered_deployment,
@@ -93,10 +103,16 @@ __all__ = [
     "ConvergecastSum",
     "Deployment",
     "DeploymentError",
+    "FaultPlan",
+    "FaultyChannel",
     "FloodingBroadcast",
     "GraphChannel",
     "IndependenceAuditor",
+    "Jammer",
     "LossyChannel",
+    "MessageFaults",
+    "NodeOutage",
+    "SlotSkew",
     "MWColoringResult",
     "MaxIdLeaderElection",
     "PairwiseTokenExchange",
@@ -110,9 +126,11 @@ __all__ = [
     "TDMASchedule",
     "UnitDiskGraph",
     "WakeupSchedule",
+    "WakeupSpec",
     "clustered_deployment",
     "greedy_coloring",
     "grid_deployment",
+    "load_fault_plan",
     "perturbed_grid_deployment",
     "phi_empirical",
     "phi_upper_bound",

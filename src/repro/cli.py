@@ -34,6 +34,8 @@ from typing import Sequence
 
 from . import __version__
 from .analysis.tables import format_table
+from .errors import ConfigurationError
+from .faults.plan import FaultPlan, load_fault_plan
 from .coloring.baselines import greedy_coloring
 from .coloring.estimation import estimate_degrees
 from .coloring.runner import run_mw_coloring_audited
@@ -74,6 +76,27 @@ def _telemetry_from(args: argparse.Namespace, command: str) -> Telemetry | None:
         },
     }
     return Telemetry(out=out, meta=meta)
+
+
+def _add_faults_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        default=None,
+        help=(
+            "fault-injection plan (schema repro.faults/1; see "
+            "docs/ROBUSTNESS.md) — outages, jammers, message loss, "
+            "slot skew, wake-up patterns"
+        ),
+    )
+
+
+def _faults_from(args: argparse.Namespace) -> FaultPlan | None:
+    """The validated ``--faults`` plan, or None when the flag is absent."""
+    path = getattr(args, "faults", None)
+    if path is None:
+        return None
+    return load_fault_plan(path)
 
 
 def _add_orchestration_args(parser: argparse.ArgumentParser) -> None:
@@ -152,14 +175,28 @@ def _cmd_physics(args: argparse.Namespace) -> int:
 def _cmd_color(args: argparse.Namespace) -> int:
     params = _params(args)
     deployment = _deployment(args)
+    try:
+        plan = _faults_from(args)
+    except ConfigurationError as failure:
+        print(f"cannot load fault plan: {failure}", file=sys.stderr)
+        return 2
     telemetry = _telemetry_from(args, "color")
     result, auditor = run_mw_coloring_audited(
         deployment, params, seed=args.seed, channel=args.channel,
-        telemetry=telemetry,
+        telemetry=telemetry, faults=plan,
     )
     row = result.summary()
     row["audit_violations"] = len(auditor.violations)
     print(format_table([row], title="MW coloring run"))
+    if plan is not None:
+        from .invariants import degradation_report
+
+        report = degradation_report(result, auditor)
+        rows = [
+            {"quantity": key, "value": value}
+            for key, value in report.as_dict().items()
+        ]
+        print(format_table(rows, title=f"degradation under {args.faults}"))
     if telemetry is not None:
         print(f"telemetry written to {telemetry.out}"
               f" (summarise with: python -m repro report {telemetry.out})")
@@ -207,10 +244,15 @@ def _cmd_srs(args: argparse.Namespace) -> int:
     coloring = greedy_coloring(power_graph(graph, params.mac_distance + 1))
     schedule = TDMASchedule(coloring)
     simulated = _SRS_WORKLOADS[args.algorithm](graph.n)
+    try:
+        plan = _faults_from(args)
+    except ConfigurationError as failure:
+        print(f"cannot load fault plan: {failure}", file=sys.stderr)
+        return 2
     telemetry = _telemetry_from(args, "srs")
     report = simulate_uniform_algorithm(
         graph, simulated, schedule, params, max_rounds=args.max_rounds,
-        telemetry=telemetry,
+        telemetry=telemetry, faults=plan, fault_seed=args.seed,
     )
     native = _SRS_WORKLOADS[args.algorithm](graph.n)
     native_report = run_uniform_rounds(graph, native, max_rounds=args.max_rounds)
@@ -224,6 +266,12 @@ def _cmd_srs(args: argparse.Namespace) -> int:
         "halted": report.halted,
     }
     print(format_table([row], title="Corollary 1 single-round simulation"))
+    if report.fault_events is not None:
+        rows = [
+            {"fault": key, "count": value}
+            for key, value in sorted(report.fault_events.items())
+        ]
+        print(format_table(rows, title=f"fault events under {args.faults}"))
     if telemetry is not None:
         print(f"telemetry written to {telemetry.out}"
               f" (summarise with: python -m repro report {telemetry.out})")
@@ -249,6 +297,11 @@ def _run_orchestrated(args: argparse.Namespace) -> int:
 
     module = REGISTRY[args.id]
     store = RunStore(args.store) if args.store else None
+    try:
+        plan = _faults_from(args)
+    except ConfigurationError as failure:
+        print(f"cannot load fault plan: {failure}", file=sys.stderr)
+        return 2
     result = run_sharded(
         args.id,
         jobs=args.jobs,
@@ -260,6 +313,7 @@ def _run_orchestrated(args: argparse.Namespace) -> int:
         retries=getattr(args, "retries", 1),
         progress=lambda message: print(message, file=sys.stderr),
         install_sigint=True,
+        faults=plan,
     )
     if result.interrupted:
         print("sweep interrupted; finish it with --resume", file=sys.stderr)
@@ -478,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     color.add_argument(
         "--channel", choices=["sinr", "graph", "collision_free"], default="sinr"
     )
+    _add_faults_args(color)
     _add_telemetry_args(color)
     color.set_defaults(func=_cmd_color)
 
@@ -493,6 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", choices=sorted(_SRS_WORKLOADS), default="flooding"
     )
     srs.add_argument("--max-rounds", type=int, default=120)
+    _add_faults_args(srs)
     _add_telemetry_args(srs)
     srs.set_defaults(func=_cmd_srs)
 
@@ -548,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1, metavar="N",
         help="extra attempts per failed shard before recording the failure",
     )
+    _add_faults_args(sweep_cmd)
     _add_telemetry_args(sweep_cmd)
     sweep_cmd.set_defaults(func=_cmd_sweep)
 

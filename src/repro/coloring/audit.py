@@ -1,88 +1,12 @@
-"""Live independence auditing (the empirical side of Theorem 1).
+"""Historical home of the Theorem 1 live audit.
 
-Theorem 1 claims every color class ``C_i`` forms an independent set *at all
-times during execution*.  Membership of a class only ever grows, and it
-grows exactly when a node enters ``C_i`` — so auditing every decision event
-is equivalent to auditing every slot, at a fraction of the cost.
-:class:`IndependenceAuditor` subscribes to the node state machines'
-decision hook and checks each new class member against the existing members
-of its class.
+The checkers consolidated into :mod:`repro.invariants` so the fault
+layer's degradation reports and the test suite run the same code; this
+module remains as a compatibility re-export.
 """
 
 from __future__ import annotations
 
-import math
-from collections import defaultdict
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from .._validation import require_positive
-from ..geometry.point import as_positions
+from ..invariants import IndependenceAuditor, IndependenceViolation
 
 __all__ = ["IndependenceAuditor", "IndependenceViolation"]
-
-
-@dataclass(frozen=True)
-class IndependenceViolation:
-    """One detected violation: two class-``i`` members within ``radius``."""
-
-    slot: int
-    color_index: int
-    pair: tuple[int, int]
-    distance: float
-
-
-@dataclass
-class IndependenceAuditor:
-    """Checks the Theorem 1 invariant at every decision event.
-
-    Attach via ``MWSharedConfig(decision_listeners=(auditor.on_decision,))``
-    (the run harness does this when asked to audit).
-
-    Parameters
-    ----------
-    positions:
-        Node coordinates.
-    radius:
-        Independence scale (the paper's ``R_T``).
-    """
-
-    positions: np.ndarray
-    radius: float
-    violations: list[IndependenceViolation] = field(default_factory=list)
-    decisions_audited: int = field(default=0, init=False)
-    _members: dict[int, list[int]] = field(
-        default_factory=lambda: defaultdict(list), init=False
-    )
-
-    def __post_init__(self) -> None:
-        self.positions = as_positions(self.positions)
-        require_positive("radius", self.radius)
-
-    def on_decision(self, slot: int, node: int, color: int) -> None:
-        """Decision hook: audit ``node`` joining class ``color`` at ``slot``."""
-        self.decisions_audited += 1
-        px, py = self.positions[node]
-        for member in self._members[color]:
-            qx, qy = self.positions[member]
-            dist = math.hypot(px - qx, py - qy)
-            if dist <= self.radius:
-                self.violations.append(
-                    IndependenceViolation(
-                        slot=slot,
-                        color_index=color,
-                        pair=(min(node, member), max(node, member)),
-                        distance=dist,
-                    )
-                )
-        self._members[color].append(node)
-
-    def members_of(self, color: int) -> list[int]:
-        """Current members of class ``color`` in decision order."""
-        return list(self._members[color])
-
-    @property
-    def clean(self) -> bool:
-        """True iff no violation was ever observed."""
-        return not self.violations

@@ -36,6 +36,9 @@ class MWColoringResult:
         The algorithm constants the run used.
     trace:
         The shared event trace (empty recorder when tracing was off).
+    fault_events:
+        The fault layer's injection counters when the run carried a
+        :class:`~repro.faults.FaultPlan` (None for clean runs).
     """
 
     graph: UnitDiskGraph
@@ -45,6 +48,7 @@ class MWColoringResult:
     stats: RunStats
     constants: AlgorithmConstants
     trace: TraceRecorder
+    fault_events: dict[str, int] | None = None
 
     @property
     def n(self) -> int:

@@ -25,13 +25,15 @@ from ..geometry.deployment import Deployment
 from ..geometry.density import phi_empirical
 from ..graphs.coloring import Coloring
 from ..graphs.udg import UnitDiskGraph
+from ..faults.channel import FaultyChannel
+from ..faults.plan import FaultPlan
+from ..invariants import IndependenceAuditor
 from ..sinr.channel import Channel, CollisionFreeChannel, GraphChannel, SINRChannel
 from ..sinr.params import PhysicalParams
 from ..simulation.event_sim import EventSimulator
 from ..simulation.scheduler import WakeupSchedule
 from ..simulation.trace import SlotObserver, TraceRecorder
 from ..telemetry import Telemetry
-from .audit import IndependenceAuditor
 from .constants import AlgorithmConstants
 from .mw_node import MWColoringNode, MWSharedConfig
 from .result import MWColoringResult
@@ -116,6 +118,7 @@ def run_mw_coloring(
     decision_listeners: Sequence[Callable[[int, int, int], None]] = (),
     half_duplex: bool = True,
     telemetry: Telemetry | None = None,
+    faults: FaultPlan | None = None,
 ) -> MWColoringResult:
     """Run the MW coloring algorithm end to end.
 
@@ -153,6 +156,14 @@ def run_mw_coloring(
         if ``telemetry.out`` is set — the run is exported to JSONL
         before returning (summarise it with ``repro report``).
         Telemetry never alters the run: same seed, same result.
+    faults:
+        A :class:`~repro.faults.FaultPlan` to inject.  The channel is
+        wrapped in a :class:`~repro.faults.FaultyChannel` (even for an
+        empty plan — wrapping is bit-neutral), the plan's wake-up spec
+        supplies the schedule when no explicit ``schedule`` is passed,
+        and ``result.fault_events`` reports the injection counters.
+        Invariant violations under faults are recorded, never raised
+        (see :func:`repro.invariants.degradation_report`).
 
     Returns
     -------
@@ -175,6 +186,7 @@ def run_mw_coloring(
         decision_listeners=decision_listeners,
         half_duplex=half_duplex,
         telemetry=telemetry,
+        faults=faults,
     )
     return result
 
@@ -209,6 +221,7 @@ def _run(
     decision_listeners: Sequence[Callable[[int, int, int], None]] = (),
     half_duplex: bool = True,
     telemetry: Telemetry | None = None,
+    faults: FaultPlan | None = None,
 ) -> tuple[MWColoringResult, IndependenceAuditor | None]:
     positions = (
         deployment.positions if isinstance(deployment, Deployment) else deployment
@@ -233,8 +246,20 @@ def _run(
     else:
         channel_obj = make_channel(channel, graph.positions, params, half_duplex)
 
+    fault_channel = None
+    if faults is not None:
+        if not isinstance(faults, FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a FaultPlan, got {faults!r}"
+            )
+        fault_channel = FaultyChannel(channel_obj, faults, seed=seed)
+        channel_obj = fault_channel
+
     if schedule is None:
-        schedule = WakeupSchedule.synchronous(n)
+        if faults is not None and faults.wakeup is not None:
+            schedule = faults.wakeup.schedule(n, seed)
+        else:
+            schedule = WakeupSchedule.synchronous(n)
 
     if telemetry is not None:
         trace = trace or telemetry.trace
@@ -307,6 +332,9 @@ def _run(
         stats=stats,
         constants=constants,
         trace=recorder,
+        fault_events=(
+            fault_channel.events.as_dict() if fault_channel is not None else None
+        ),
     )
     if telemetry is not None and telemetry.out is not None:
         telemetry.export_coloring(result)

@@ -36,7 +36,7 @@ _CLOCK_ATTRS = frozenset(
     }
 )
 #: Packages where results must be a pure function of (inputs, seed).
-_SEED_PURE_PACKAGES = ("coloring", "sinr", "simulation", "mac")
+_SEED_PURE_PACKAGES = ("coloring", "sinr", "simulation", "mac", "faults")
 
 
 def _names_imported_from_time(ctx: FileContext) -> frozenset[str]:

@@ -1,0 +1,68 @@
+"""Fault-injection boundary rules (FLT0xx).
+
+Every way a run can misbehave — dropped messages, crashed nodes,
+jammers, desynchronised clocks — is modelled declaratively in
+:mod:`repro.faults` and injected through one seed-pure wrapper,
+:class:`~repro.faults.FaultyChannel`.  An ad-hoc channel wrapper that
+mutates deliveries inside a protocol package bypasses the FaultPlan
+(so the fault never reaches telemetry, the config hash, or the CLI)
+and re-opens the bit-identity questions the faults package settled
+once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..framework import FileContext, Rule, rule
+
+__all__ = ["FaultModelsCentralised"]
+
+#: Protocol packages where delivery-mutating channel wrappers are banned.
+_PROTOCOL_PACKAGES = ("coloring", "sinr", "simulation", "mac")
+
+
+def _wraps_another_channel(method: ast.FunctionDef) -> bool:
+    """Whether a ``_resolve`` body delegates to some other channel."""
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "resolve"
+        ):
+            return True
+    return False
+
+
+@rule
+class FaultModelsCentralised(Rule):
+    code = "FLT001"
+    name = "fault behaviour lives in repro.faults"
+    rationale = (
+        "a channel wrapper whose _resolve delegates to another "
+        "channel's resolve() is an ad-hoc fault model: it mutates "
+        "deliveries outside the FaultPlan, so its behaviour is "
+        "invisible to telemetry, config hashes and the --faults CLI; "
+        "express it as a FaultPlan component in repro/faults/ instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.within("faults") or not ctx.within(*_PROTOCOL_PACKAGES):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name == "_resolve"
+                    and _wraps_another_channel(item)
+                ):
+                    yield self.finding(
+                        ctx,
+                        item,
+                        f"`{node.name}._resolve` delegates to another "
+                        "channel's resolve(); " + self.rationale,
+                    )

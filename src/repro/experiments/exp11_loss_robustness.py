@@ -1,17 +1,19 @@
 """EXP-11 — extension: robustness to unmodeled Bernoulli message loss.
 
-Wrap the SINR channel in a per-delivery eraser and sweep the drop rate;
-the repetition windows should absorb moderate loss for free.
+Sweep the drop rate of an i.i.d. per-delivery eraser; the repetition
+windows should absorb moderate loss for free.  The eraser is expressed
+as a message-drop-only :class:`~repro.faults.FaultPlan` handed to the run
+harness — this experiment is a thin fault-plan configuration, and extra
+fault models layer on via the ``faults`` unit constant.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..coloring.runner import run_mw_coloring_audited
+from ..faults.plan import FaultPlan, MessageFaults
 from ..geometry.deployment import uniform_deployment
-from ..sinr.channel import SINRChannel
-from ..sinr.lossy import LossyChannel
 from ..sinr.params import PhysicalParams
 from ._units import grid_units, run_units
 
@@ -27,18 +29,27 @@ __all__ = ["COLUMNS", "GRID", "DEFAULT_DROPS", "TITLE", "check", "run", "run_sin
 
 
 def run_single(
-    seed: int, drop: float, params: PhysicalParams | None = None
+    seed: int,
+    drop: float,
+    params: PhysicalParams | None = None,
+    faults: Mapping | FaultPlan | None = None,
 ) -> dict:
-    """One audited run with the given injected drop rate."""
+    """One audited run with the given injected drop rate.
+
+    The plan seeds its own RNG with ``seed + 1`` (the historical loss
+    seed, locked by the parity fixture); ``faults`` layers additional
+    fault models on top of the swept drop rate.
+    """
     if params is None:
         params = PhysicalParams().with_r_t(1.0)
     deployment = uniform_deployment(70, 5.5, seed=seed)
-    channel = LossyChannel(
-        SINRChannel(deployment.positions, params), drop=drop, seed=seed + 1
-    )
+    plan = FaultPlan(messages=MessageFaults(drop=drop), seed=seed + 1)
+    if faults is not None:
+        plan = plan.merge(FaultPlan.coerce(faults))
     result, auditor = run_mw_coloring_audited(
-        deployment, params, seed=seed + 40, channel=channel
+        deployment, params, seed=seed + 40, faults=plan
     )
+    events = result.fault_events or {}
     return {
         "drop": drop,
         "seed": seed,
@@ -47,7 +58,7 @@ def run_single(
         "clean": auditor.clean,
         "completed": result.stats.completed,
         "ok": result.stats.completed and result.is_proper() and auditor.clean,
-        "dropped": channel.dropped,
+        "dropped": int(events.get("dropped", 0)),
     }
 
 
@@ -55,18 +66,22 @@ def units(
     seeds: Sequence[int] = (0, 1),
     drops: Sequence[float] = DEFAULT_DROPS,
     params: PhysicalParams | None = None,
+    faults: Mapping | None = None,
 ) -> list[dict]:
     """Shardable work units, in canonical ``run()`` row order."""
-    return grid_units("run_single", {"drop": drops}, seeds, params=params)
+    return grid_units(
+        "run_single", {"drop": drops}, seeds, params=params, faults=faults
+    )
 
 
 def run(
     seeds: Sequence[int] = (0, 1),
     drops: Sequence[float] = DEFAULT_DROPS,
     params: PhysicalParams | None = None,
+    faults: Mapping | None = None,
 ) -> list[dict]:
     """The full drop x seed grid."""
-    return run_units(__name__, units(seeds, drops, params))
+    return run_units(__name__, units(seeds, drops, params, faults))
 
 
 def check(rows: Sequence[dict]) -> None:

@@ -2,19 +2,22 @@
 
 Identical deployments under synchronous / random / staggered wake-up; the
 per-node time (decision slot minus own wake slot) must stay in one band
-while the makespan absorbs the wake-up window.
+while the makespan absorbs the wake-up window.  Each pattern is expressed
+as a :class:`~repro.faults.WakeupSpec` inside a fault plan handed to the
+run harness — this experiment is a thin fault-plan configuration, and
+extra fault models layer on via the ``faults`` unit constant.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from .._validation import require_in
 from ..coloring.runner import run_mw_coloring_audited
+from ..faults.plan import FaultPlan, WakeupSpec
 from ..geometry.deployment import uniform_deployment
-from ..simulation.scheduler import WakeupSchedule
 from ..sinr.params import PhysicalParams
 from ._units import grid_units, run_units
 
@@ -33,12 +36,13 @@ GRID = {"pattern": PATTERNS}
 __all__ = ["COLUMNS", "GRID", "PATTERNS", "TITLE", "check", "run", "run_single", "units"]
 
 
-def _make_schedule(pattern: str, n: int, seed: int) -> WakeupSchedule:
+def _make_spec(pattern: str, seed: int) -> WakeupSpec:
+    """The historical pattern parameters, as a declarative wake-up spec."""
     if pattern == "synchronous":
-        return WakeupSchedule.synchronous(n)
+        return WakeupSpec()
     if pattern == "random":
-        return WakeupSchedule.uniform_random(n, max_delay=3000, seed=seed)
-    return WakeupSchedule.staggered(n, interval=40)
+        return WakeupSpec(pattern="random", max_delay=3000, seed=seed)
+    return WakeupSpec(pattern="staggered", interval=40)
 
 
 def run_single(
@@ -46,16 +50,22 @@ def run_single(
     pattern: str,
     params: PhysicalParams | None = None,
     n: int = DEFAULT_N,
+    faults: Mapping | FaultPlan | None = None,
 ) -> dict:
     """One audited run under the given wake-up pattern."""
     require_in("pattern", pattern, PATTERNS)
     if params is None:
         params = PhysicalParams().with_r_t(1.0)
     deployment = uniform_deployment(n, 5.5, seed=seed)
-    schedule = _make_schedule(pattern, n, seed)
+    plan = FaultPlan(wakeup=_make_spec(pattern, seed))
+    if faults is not None:
+        plan = plan.merge(FaultPlan.coerce(faults))
     result, auditor = run_mw_coloring_audited(
-        deployment, params, seed=seed + 20, schedule=schedule
+        deployment, params, seed=seed + 20, faults=plan
     )
+    # The same schedule the harness materialised from the plan's spec
+    # (pattern seeds are carried in the spec, so this is exact).
+    schedule = plan.wakeup.schedule(n, seed + 20)
     per_node = result.decision_slots - schedule.wake_slots
     return {
         "pattern": pattern,
@@ -73,18 +83,22 @@ def units(
     seeds: Sequence[int] = (0, 1),
     patterns: Sequence[str] = PATTERNS,
     params: PhysicalParams | None = None,
+    faults: Mapping | None = None,
 ) -> list[dict]:
     """Shardable work units, in canonical ``run()`` row order."""
-    return grid_units("run_single", {"pattern": patterns}, seeds, params=params)
+    return grid_units(
+        "run_single", {"pattern": patterns}, seeds, params=params, faults=faults
+    )
 
 
 def run(
     seeds: Sequence[int] = (0, 1),
     patterns: Sequence[str] = PATTERNS,
     params: PhysicalParams | None = None,
+    faults: Mapping | None = None,
 ) -> list[dict]:
     """The full pattern x seed grid."""
-    return run_units(__name__, units(seeds, patterns, params))
+    return run_units(__name__, units(seeds, patterns, params, faults))
 
 
 def check(rows: Sequence[dict]) -> None:

@@ -1,0 +1,39 @@
+"""Deterministic fault injection for SINR protocol runs.
+
+A declarative :class:`FaultPlan` composes every supported fault model —
+node crash/sleep/restart windows (:class:`NodeOutage`), external jammers
+(:class:`Jammer`), i.i.d. message drop/corruption (:class:`MessageFaults`),
+slot desynchronisation (:class:`SlotSkew`) and adversarial wake-up
+patterns (:class:`WakeupSpec`) — and :class:`FaultyChannel` realises it
+around any channel without touching algorithm code.  Plans round-trip
+through JSON (``repro.faults/1``), ride the ``faults=`` keyword of the
+run harnesses and the ``--faults`` CLI flag, and fold into the
+orchestration config hash so resumable sweeps stay correct.
+
+See docs/ROBUSTNESS.md for the fault catalogue and a worked example.
+"""
+
+from __future__ import annotations
+
+from .channel import FaultEvents, FaultyChannel
+from .plan import (
+    FaultPlan,
+    Jammer,
+    MessageFaults,
+    NodeOutage,
+    SlotSkew,
+    WakeupSpec,
+    load_fault_plan,
+)
+
+__all__ = [
+    "FaultEvents",
+    "FaultPlan",
+    "FaultyChannel",
+    "Jammer",
+    "MessageFaults",
+    "NodeOutage",
+    "SlotSkew",
+    "WakeupSpec",
+    "load_fault_plan",
+]

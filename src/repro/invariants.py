@@ -1,0 +1,372 @@
+"""The paper's checkable invariants, in one shared module.
+
+Three guarantees of the paper are cheap to audit empirically and are the
+backbone of both the test suite and the fault layer's degradation
+reports:
+
+* **Theorem 1** — every color class is an independent set *at all times*
+  during execution (:class:`IndependenceAuditor` live per decision,
+  :func:`independence_violations` statically on a finished coloring).
+* **Theorem 3** — a coloring-based TDMA frame serves every
+  (sender, neighbor) pair with zero failures under full same-color load
+  (:func:`verify_tdma_broadcast`).
+* **Palette validity** — colors are non-negative and within the claimed
+  palette bound (:func:`palette_violations`).
+
+Keeping the checkers here — and only re-export shims at their historical
+homes ``coloring.audit`` and ``mac.verify`` — means the production
+degradation path and the tests run the *same* code and cannot drift.
+
+Under fault injection these invariants may genuinely break (that is the
+point of injecting faults); :func:`degradation_report` therefore
+*records* violations instead of raising, so faulted runs always complete
+and report how far they degraded.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from ._validation import require_positive
+from .errors import ScheduleError
+from .geometry.point import as_positions
+from .sinr.channel import SINRChannel, Transmission
+from .sinr.params import PhysicalParams
+
+if TYPE_CHECKING:
+    from .coloring.result import MWColoringResult
+    from .graphs.udg import UnitDiskGraph
+    from .mac.tdma import TDMASchedule
+
+__all__ = [
+    "DegradationReport",
+    "IndependenceAuditor",
+    "IndependenceViolation",
+    "MacVerificationReport",
+    "degradation_report",
+    "independence_violations",
+    "palette_violations",
+    "verify_tdma_broadcast",
+]
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1: independence of every color class, at all times.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IndependenceViolation:
+    """One detected violation: two class-``i`` members within ``radius``."""
+
+    slot: int
+    color_index: int
+    pair: tuple[int, int]
+    distance: float
+
+
+@dataclass
+class IndependenceAuditor:
+    """Checks the Theorem 1 invariant at every decision event.
+
+    Membership of a class only ever grows, and it grows exactly when a
+    node enters it — so auditing every decision event is equivalent to
+    auditing every slot, at a fraction of the cost.  Attach via
+    ``MWSharedConfig(decision_listeners=(auditor.on_decision,))`` (the
+    run harness does this when asked to audit).
+
+    Parameters
+    ----------
+    positions:
+        Node coordinates.
+    radius:
+        Independence scale (the paper's ``R_T``).
+    """
+
+    positions: np.ndarray
+    radius: float
+    violations: list[IndependenceViolation] = field(default_factory=list)
+    decisions_audited: int = field(default=0, init=False)
+    _members: dict[int, list[int]] = field(
+        default_factory=lambda: defaultdict(list), init=False
+    )
+
+    def __post_init__(self) -> None:
+        self.positions = as_positions(self.positions)
+        require_positive("radius", self.radius)
+
+    def on_decision(self, slot: int, node: int, color: int) -> None:
+        """Decision hook: audit ``node`` joining class ``color`` at ``slot``."""
+        self.decisions_audited += 1
+        px, py = self.positions[node]
+        for member in self._members[color]:
+            qx, qy = self.positions[member]
+            dist = math.hypot(px - qx, py - qy)
+            if dist <= self.radius:
+                self.violations.append(
+                    IndependenceViolation(
+                        slot=slot,
+                        color_index=color,
+                        pair=(min(node, member), max(node, member)),
+                        distance=dist,
+                    )
+                )
+        self._members[color].append(node)
+
+    def members_of(self, color: int) -> list[int]:
+        """Current members of class ``color`` in decision order."""
+        return list(self._members[color])
+
+    @property
+    def clean(self) -> bool:
+        """True iff no violation was ever observed."""
+        return not self.violations
+
+
+def independence_violations(
+    positions: np.ndarray,
+    radius: float,
+    colors: np.ndarray,
+    undecided: int | None = None,
+) -> list[IndependenceViolation]:
+    """Static Theorem 1 check of a finished (or partial) coloring.
+
+    Every same-colored pair within ``radius`` is a violation (reported
+    with ``slot=-1`` — the static check has no time axis).  Nodes colored
+    ``undecided`` (default: any negative color) are skipped: an undecided
+    node belongs to no class yet, so it cannot break one.
+    """
+    positions = as_positions(positions)
+    require_positive("radius", radius)
+    colors = np.asarray(colors, dtype=np.int64)
+    if len(colors) != len(positions):
+        raise ScheduleError(
+            f"{len(colors)} colors for {len(positions)} positions"
+        )
+    violations: list[IndependenceViolation] = []
+    by_color: dict[int, list[int]] = defaultdict(list)
+    for node, color in enumerate(colors):
+        color = int(color)
+        if color == undecided or (undecided is None and color < 0):
+            continue
+        by_color[color].append(node)
+    for color, members in sorted(by_color.items()):
+        if len(members) < 2:
+            continue
+        pts = positions[members]
+        diff = pts[:, None, :] - pts[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        close = np.triu(dist <= radius, k=1)
+        for i, j in zip(*np.nonzero(close)):
+            violations.append(
+                IndependenceViolation(
+                    slot=-1,
+                    color_index=color,
+                    pair=(members[int(i)], members[int(j)]),
+                    distance=float(dist[i, j]),
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Palette validity.
+# ---------------------------------------------------------------------------
+
+
+def palette_violations(
+    colors: np.ndarray, palette_size: int | None = None
+) -> list[int]:
+    """Nodes whose color falls outside the claimed palette.
+
+    A valid entry is a non-negative color, strictly below
+    ``palette_size`` when a bound is given (the paper's ``(d+1, V)``
+    colorings promise ``V`` colors).  Returns the offending node ids.
+    """
+    colors = np.asarray(colors, dtype=np.int64)
+    bad = colors < 0
+    if palette_size is not None:
+        if palette_size <= 0:
+            raise ScheduleError(
+                f"palette_size must be > 0, got {palette_size}"
+            )
+        bad |= colors >= palette_size
+    return [int(node) for node in np.flatnonzero(bad)]
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3: zero TDMA delivery failures under full same-color load.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MacVerificationReport:
+    """Outcome of one full-frame broadcast audit.
+
+    Attributes
+    ----------
+    frame_length:
+        Slots per frame (``V``).
+    expected:
+        Number of (sender, neighbor) pairs that must be served per frame.
+    delivered:
+        How many of those pairs actually decoded the message.
+    failures:
+        Up to 20 sample failed pairs ``(sender, neighbor)``.
+    """
+
+    frame_length: int
+    expected: int
+    delivered: int
+    failures: tuple[tuple[int, int], ...]
+
+    @property
+    def success_rate(self) -> float:
+        """Delivered fraction; 1.0 means an interference-free frame."""
+        if self.expected == 0:
+            return 1.0
+        return self.delivered / self.expected
+
+    @property
+    def interference_free(self) -> bool:
+        """Theorem 3's claim: every pair served within the frame."""
+        return self.delivered == self.expected
+
+
+def verify_tdma_broadcast(
+    graph: "UnitDiskGraph",
+    schedule: "TDMASchedule",
+    params: PhysicalParams,
+) -> MacVerificationReport:
+    """Audit one frame of ``schedule`` on ``graph`` under SINR.
+
+    Runs one full frame with *everyone* transmitting in their slot (the
+    worst case: maximum simultaneous same-color load) and counts, for
+    every (sender, neighbor) pair of the radius-``R_T`` communication
+    graph, whether the neighbor decoded the sender.  ``graph`` must be
+    the radius-``R_T`` communication graph of ``params``.
+    """
+    if schedule.n != graph.n:
+        raise ScheduleError(
+            f"schedule covers {schedule.n} nodes, graph has {graph.n}"
+        )
+    # One engine-backed channel for the whole frame: each color class is a
+    # distinct sender set, resolved in a single vectorised pass per slot.
+    channel = SINRChannel(graph.positions, params)
+    expected = 0
+    delivered = 0
+    failures: list[tuple[int, int]] = []
+    for slot in range(schedule.frame_length):
+        senders = schedule.nodes_in_slot(slot)
+        transmissions = [
+            Transmission(sender=int(s), payload=("mac-audit", int(s)))
+            for s in senders
+        ]
+        deliveries = channel.resolve(transmissions)
+        got = {(d.sender, d.receiver) for d in deliveries}
+        for sender in senders:
+            sender = int(sender)
+            for neighbor in graph.neighbors(sender):
+                neighbor = int(neighbor)
+                expected += 1
+                if (sender, neighbor) in got:
+                    delivered += 1
+                elif len(failures) < 20:
+                    failures.append((sender, neighbor))
+    return MacVerificationReport(
+        frame_length=schedule.frame_length,
+        expected=expected,
+        delivered=delivered,
+        failures=tuple(failures),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Degradation reporting: record, don't raise.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """How far one (possibly faulted) coloring run degraded.
+
+    Produced by :func:`degradation_report`; every field *records* an
+    outcome — nothing in this path raises on a broken invariant, so
+    fault sweeps always complete and report.
+
+    Attributes
+    ----------
+    completed:
+        Whether every node decided within the slot budget.
+    proper:
+        Whether the final coloring is proper on the communication graph.
+    decided:
+        Nodes that decided.
+    n:
+        Total nodes.
+    independence_violations:
+        Theorem 1 violations observed during the run (live audit when
+        available, else the static end-state check).
+    fault_events:
+        The fault layer's injection counters (empty for clean runs).
+    """
+
+    completed: bool
+    proper: bool
+    decided: int
+    n: int
+    independence_violations: tuple[IndependenceViolation, ...]
+    fault_events: Mapping[str, int]
+
+    @property
+    def clean(self) -> bool:
+        """True iff the run upheld every audited invariant."""
+        return self.completed and self.proper and not self.independence_violations
+
+    def as_dict(self) -> dict[str, Any]:
+        """Row-shaped summary (experiment tables, JSONL artifacts)."""
+        return {
+            "completed": self.completed,
+            "proper": self.proper,
+            "decided": self.decided,
+            "n": self.n,
+            "independence_violations": len(self.independence_violations),
+            "clean": self.clean,
+            **{f"fault_{k}": int(v) for k, v in sorted(self.fault_events.items())},
+        }
+
+
+def degradation_report(
+    result: "MWColoringResult",
+    auditor: IndependenceAuditor | None = None,
+) -> DegradationReport:
+    """Summarise ``result`` against the paper's invariants.
+
+    With a live ``auditor`` its violations are reported verbatim;
+    otherwise the static end-state independence check runs on the
+    decided nodes.  Fault counters come from the result when the run
+    carried a fault plan.
+    """
+    graph = result.graph
+    if auditor is not None:
+        violations = tuple(auditor.violations)
+    else:
+        colors = np.where(
+            result.decision_slots >= 0, result.coloring.colors, -1
+        )
+        violations = tuple(
+            independence_violations(graph.positions, graph.radius, colors)
+        )
+    return DegradationReport(
+        completed=result.stats.completed,
+        proper=result.is_proper(),
+        decided=int((result.decision_slots >= 0).sum()),
+        n=graph.n,
+        independence_violations=violations,
+        fault_events=dict(result.fault_events or {}),
+    )

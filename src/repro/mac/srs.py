@@ -21,10 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-from .._validation import require_int
+from .._validation import require_in, require_int
 from ..errors import ScheduleError
+from ..faults.channel import FaultyChannel
+from ..faults.plan import FaultPlan
 from ..graphs.udg import UnitDiskGraph
-from .._validation import require_in
 from ..messaging.model import GeneralAlgorithm, RoundContext, UniformAlgorithm
 from ..sinr.channel import SINRChannel, Transmission
 from ..sinr.params import PhysicalParams
@@ -58,6 +59,9 @@ class SRSReport:
         losses with a Theorem 3 coloring.
     outputs:
         Per-node algorithm outputs at the end.
+    fault_events:
+        The fault layer's injection counters when the run carried a
+        :class:`~repro.faults.FaultPlan` (None for clean runs).
     """
 
     rounds: int
@@ -67,6 +71,7 @@ class SRSReport:
     expected_deliveries: int
     lost_deliveries: int
     outputs: tuple[Any, ...]
+    fault_events: dict[str, int] | None = None
 
     @property
     def exact(self) -> bool:
@@ -100,6 +105,8 @@ def simulate_uniform_algorithm(
     params: PhysicalParams,
     max_rounds: int,
     telemetry: Telemetry | None = None,
+    faults: FaultPlan | None = None,
+    fault_seed: int = 0,
 ) -> SRSReport:
     """Run a uniform algorithm over the SINR physical layer via SRS.
 
@@ -111,6 +118,12 @@ def simulate_uniform_algorithm(
     ``telemetry`` instruments the SINR channel (resolve timings, cache
     hit/miss — SRS is the showcase workload for the geometry cache) and,
     with ``telemetry.out`` set, exports the run to JSONL.
+
+    ``faults`` wraps the channel in a
+    :class:`~repro.faults.FaultyChannel` (``fault_seed`` drives its RNG
+    unless the plan carries a seed); delivery failures then show up as
+    ``lost_deliveries`` and ``report.fault_events`` — SRS degrades
+    gracefully instead of asserting Theorem 3.
     """
     require_int("max_rounds", max_rounds, minimum=0)
     if len(algorithms) != graph.n:
@@ -135,6 +148,10 @@ def simulate_uniform_algorithm(
     channel = SINRChannel(
         graph.positions, params, cache_slots=schedule.frame_length
     )
+    fault_channel = None
+    if faults is not None:
+        fault_channel = FaultyChannel(channel, faults, seed=fault_seed)
+        channel = fault_channel
     if telemetry is not None:
         telemetry.attach_channel(channel)
         rounds_counter = telemetry.metrics.counter("srs.rounds")
@@ -152,6 +169,12 @@ def simulate_uniform_algorithm(
         round_lost = 0
         outgoing = [algorithms[v].send(rounds - 1) for v in range(graph.n)]
         for slot in range(schedule.frame_length):
+            if fault_channel is not None:
+                # Fault windows tick in absolute physical slots, frame
+                # after frame, whether or not anyone transmits.
+                fault_channel.begin_slot(
+                    (rounds - 1) * schedule.frame_length + slot
+                )
             senders = [
                 int(s)
                 for s in schedule.nodes_in_slot(slot)
@@ -187,6 +210,9 @@ def simulate_uniform_algorithm(
         expected_deliveries=expected,
         lost_deliveries=lost,
         outputs=tuple(algorithm.output() for algorithm in algorithms),
+        fault_events=(
+            fault_channel.events.as_dict() if fault_channel is not None else None
+        ),
     )
     if telemetry is not None:
         expected_counter.inc(expected)

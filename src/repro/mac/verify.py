@@ -1,108 +1,12 @@
-"""The Theorem 3 audit: is a coloring-based TDMA frame interference-free?
+"""Historical home of the Theorem 3 TDMA frame audit.
 
-Theorem 3: for ``d = (32 * (alpha-1)/(alpha-2) * beta)^(1/alpha)``, a
-``(d+1, V)``-coloring scheduled as TDMA lets every node deliver a message
-to *all* of its neighbors within one ``V``-slot frame — the additive
-interference of all same-colored transmitters in the whole network stays
-below the SINR budget.
-
-:func:`verify_tdma_broadcast` runs one full frame with *everyone*
-transmitting in their slot (the worst case: maximum simultaneous
-same-color load) and counts, for every (sender, neighbor) pair of the
-radius-``R_T`` communication graph, whether the neighbor decoded the
-sender.  A distance-1 or distance-2 coloring fails this audit on dense
-deployments — exactly the point the paper makes about graph-based
-colorings being insufficient under SINR.
+The checkers consolidated into :mod:`repro.invariants` so the fault
+layer's degradation reports and the test suite run the same code; this
+module remains as a compatibility re-export.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from ..errors import ScheduleError
-from ..graphs.udg import UnitDiskGraph
-from ..sinr.channel import SINRChannel, Transmission
-from ..sinr.params import PhysicalParams
-from .tdma import TDMASchedule
+from ..invariants import MacVerificationReport, verify_tdma_broadcast
 
 __all__ = ["MacVerificationReport", "verify_tdma_broadcast"]
-
-
-@dataclass(frozen=True)
-class MacVerificationReport:
-    """Outcome of one full-frame broadcast audit.
-
-    Attributes
-    ----------
-    frame_length:
-        Slots per frame (``V``).
-    expected:
-        Number of (sender, neighbor) pairs that must be served per frame.
-    delivered:
-        How many of those pairs actually decoded the message.
-    failures:
-        Up to 20 sample failed pairs ``(sender, neighbor)``.
-    """
-
-    frame_length: int
-    expected: int
-    delivered: int
-    failures: tuple[tuple[int, int], ...]
-
-    @property
-    def success_rate(self) -> float:
-        """Delivered fraction; 1.0 means an interference-free frame."""
-        if self.expected == 0:
-            return 1.0
-        return self.delivered / self.expected
-
-    @property
-    def interference_free(self) -> bool:
-        """Theorem 3's claim: every pair served within the frame."""
-        return self.delivered == self.expected
-
-
-def verify_tdma_broadcast(
-    graph: UnitDiskGraph,
-    schedule: TDMASchedule,
-    params: PhysicalParams,
-) -> MacVerificationReport:
-    """Audit one frame of ``schedule`` on ``graph`` under SINR.
-
-    ``graph`` must be the radius-``R_T`` communication graph of ``params``
-    (the audit asks whether *neighbors at communication range* are served,
-    regardless of which coloring produced the schedule).
-    """
-    if schedule.n != graph.n:
-        raise ScheduleError(
-            f"schedule covers {schedule.n} nodes, graph has {graph.n}"
-        )
-    # One engine-backed channel for the whole frame: each color class is a
-    # distinct sender set, resolved in a single vectorised pass per slot.
-    channel = SINRChannel(graph.positions, params)
-    expected = 0
-    delivered = 0
-    failures: list[tuple[int, int]] = []
-    for slot in range(schedule.frame_length):
-        senders = schedule.nodes_in_slot(slot)
-        transmissions = [
-            Transmission(sender=int(s), payload=("mac-audit", int(s)))
-            for s in senders
-        ]
-        deliveries = channel.resolve(transmissions)
-        got = {(d.sender, d.receiver) for d in deliveries}
-        for sender in senders:
-            sender = int(sender)
-            for neighbor in graph.neighbors(sender):
-                neighbor = int(neighbor)
-                expected += 1
-                if (sender, neighbor) in got:
-                    delivered += 1
-                elif len(failures) < 20:
-                    failures.append((sender, neighbor))
-    return MacVerificationReport(
-        frame_length=schedule.frame_length,
-        expected=expected,
-        delivered=delivered,
-        failures=tuple(failures),
-    )

@@ -36,6 +36,7 @@ from typing import Callable
 
 from ..errors import ConfigurationError
 from .._validation import require_int
+from ..faults.plan import FaultPlan
 from .plan import Shard, config_hash, plan_shards
 from .store import RunStore, STORE_SCHEMA
 from .worker import execute_shard, init_worker
@@ -103,13 +104,17 @@ class SweepResult:
 
 
 def _resolve_units(
-    module_path: str, unit_kwargs: dict | None
+    module_path: str,
+    unit_kwargs: dict | None,
+    require_keys: tuple = (),
 ) -> list[dict]:
     """The experiment's canonical unit list, honouring kwarg overrides.
 
     Falls back to the module's defaults when it does not accept one of
     the overrides (e.g. ``seeds`` for exp10's seedless grid), mirroring
-    how the serial CLI path calls ``run()``.
+    how the serial CLI path calls ``run()`` — except for ``require_keys``
+    (e.g. a fault plan), where silently dropping the override would run a
+    different sweep than the one asked for: those raise instead.
     """
     module = importlib.import_module(module_path)
     if not hasattr(module, "units"):
@@ -131,6 +136,12 @@ def _resolve_units(
             for key, value in unit_kwargs.items()
             if accepts_kwargs or key in parameters
         }
+        for key in require_keys:
+            if key in unit_kwargs and key not in supported:
+                raise ConfigurationError(
+                    f"{module_path} does not accept {key!r} in units(); "
+                    "this experiment cannot run under a fault plan"
+                )
         return list(module.units(**supported))
     return list(module.units())
 
@@ -149,6 +160,7 @@ def run_sharded(
     stop: threading.Event | None = None,
     install_sigint: bool = False,
     module: str | None = None,
+    faults: FaultPlan | dict | None = None,
 ) -> SweepResult:
     """Run one experiment's sweep as parallel shards; see module docstring.
 
@@ -158,6 +170,11 @@ def run_sharded(
     ``module`` overrides the dotted module path (defaults to the
     ``REGISTRY`` entry for ``experiment``); ``unit_kwargs`` are passed to
     the experiment's ``units()``.
+
+    ``faults`` injects a :class:`~repro.faults.FaultPlan` into every unit
+    (validated, canonicalised, and therefore folded into the config hash
+    — a resumed sweep with a different plan is a different run).  An
+    experiment whose ``units()`` does not accept ``faults`` raises.
 
     Returns a :class:`SweepResult`; raises nothing on shard failures or
     interrupts — inspect ``failures`` / ``interrupted`` instead.
@@ -179,7 +196,13 @@ def run_sharded(
             )
         module = REGISTRY[experiment].__name__
 
-    units = _resolve_units(module, unit_kwargs)
+    require_keys: tuple = ()
+    if faults is not None:
+        unit_kwargs = dict(unit_kwargs or {})
+        unit_kwargs["faults"] = FaultPlan.coerce(faults).to_dict()
+        require_keys = ("faults",)
+
+    units = _resolve_units(module, unit_kwargs, require_keys)
     shards = plan_shards(units, shard_size)
     cfg_hash = config_hash(experiment, units, STORE_SCHEMA)
 

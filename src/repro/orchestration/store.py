@@ -88,16 +88,49 @@ class RunStore:
         _atomic_write(path, json.dumps(manifest, indent=2, default=repr) + "\n")
         return path
 
-    def load_manifest(self, experiment: str, cfg_hash: str) -> dict | None:
-        """The stored sweep description, or None if absent/unreadable."""
+    def load_manifest_record(self, experiment: str, cfg_hash: str) -> dict:
+        """The stored sweep description, strictly validated.
+
+        Raises :class:`~repro.errors.ConfigurationError` naming the file
+        (and the line, for corrupt JSON) where :meth:`load_manifest`
+        would silently answer None.
+        """
         path = self.run_dir(experiment, cfg_hash) / "manifest.json"
         try:
-            manifest = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            return None
+            text = path.read_text(encoding="utf-8")
+        except OSError as failure:
+            raise ConfigurationError(
+                f"cannot read manifest {path}: {failure}"
+            ) from failure
+        except UnicodeDecodeError as failure:
+            raise ConfigurationError(
+                f"{path}: invalid UTF-8 near byte {failure.start} — "
+                "the manifest is corrupt"
+            ) from failure
+        try:
+            manifest = json.loads(text)
+        except json.JSONDecodeError as failure:
+            raise ConfigurationError(
+                f"{path}: line {failure.lineno} is not valid JSON "
+                f"({failure.msg}) — the manifest is corrupt or truncated"
+            ) from failure
+        if not isinstance(manifest, dict):
+            raise ConfigurationError(
+                f"{path}: line 1 is not a JSON object — not a manifest"
+            )
         if manifest.get("schema") != STORE_SCHEMA:
-            return None
+            raise ConfigurationError(
+                f"{path}: schema is {manifest.get('schema')!r}, expected "
+                f"{STORE_SCHEMA!r}"
+            )
         return manifest
+
+    def load_manifest(self, experiment: str, cfg_hash: str) -> dict | None:
+        """The stored sweep description, or None if absent/unreadable."""
+        try:
+            return self.load_manifest_record(experiment, cfg_hash)
+        except ConfigurationError:
+            return None
 
     # -- shards -----------------------------------------------------------
 
@@ -121,28 +154,70 @@ class RunStore:
         _atomic_write(path, json.dumps(record, default=repr) + "\n")
         return path
 
+    def load_shard_record(
+        self, experiment: str, cfg_hash: str, index: int
+    ) -> dict:
+        """The persisted shard result, strictly validated.
+
+        The diagnostic twin of :meth:`load_shard`: every way a shard file
+        can be unusable — unreadable, corrupt JSON (with the line), wrong
+        shape, mismatched provenance — raises
+        :class:`~repro.errors.ConfigurationError` naming the file and the
+        reason, instead of being folded into "not done".
+        """
+        path = self.shard_path(experiment, cfg_hash, index)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as failure:
+            raise ConfigurationError(
+                f"cannot read shard file {path}: {failure}"
+            ) from failure
+        except UnicodeDecodeError as failure:
+            raise ConfigurationError(
+                f"{path}: invalid UTF-8 near byte {failure.start} — "
+                "the shard file is corrupt"
+            ) from failure
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as failure:
+            raise ConfigurationError(
+                f"{path}: line {failure.lineno} is not valid JSON "
+                f"({failure.msg}) — the shard file is corrupt or truncated"
+            ) from failure
+        if not isinstance(record, dict):
+            raise ConfigurationError(
+                f"{path}: line 1 is not a JSON object — not a shard record"
+            )
+        expected = {
+            "schema": STORE_SCHEMA,
+            "experiment": experiment,
+            "config_hash": cfg_hash,
+            "shard": index,
+        }
+        for key, want in expected.items():
+            if record.get(key) != want:
+                raise ConfigurationError(
+                    f"{path}: {key} is {record.get(key)!r}, expected {want!r} "
+                    "— the shard file belongs to different work"
+                )
+        if not isinstance(record.get("rows"), list):
+            raise ConfigurationError(
+                f"{path}: 'rows' is not a list — the shard file is corrupt"
+            )
+        return record
+
     def load_shard(self, experiment: str, cfg_hash: str, index: int) -> dict | None:
         """A previously persisted shard result, or None when not done.
 
         Corrupt, truncated or mismatched files count as not done — the
         orchestrator will simply re-run the shard and overwrite them.
+        :meth:`load_shard_record` is the strict variant that explains
+        *why* a file was rejected.
         """
-        path = self.shard_path(experiment, cfg_hash, index)
         try:
-            record = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            return self.load_shard_record(experiment, cfg_hash, index)
+        except ConfigurationError:
             return None
-        if not isinstance(record, dict):
-            return None
-        if (
-            record.get("schema") != STORE_SCHEMA
-            or record.get("experiment") != experiment
-            or record.get("config_hash") != cfg_hash
-            or record.get("shard") != index
-            or not isinstance(record.get("rows"), list)
-        ):
-            return None
-        return record
 
     def completed_shards(
         self, experiment: str, cfg_hash: str, num_shards: int

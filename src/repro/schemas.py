@@ -17,6 +17,7 @@ from __future__ import annotations
 import re
 
 __all__ = [
+    "FAULT_PLAN_SCHEMA",
     "ORCHESTRATION_SCHEMA",
     "SCHEMA_PATTERN",
     "TELEMETRY_SCHEMA",
@@ -28,6 +29,9 @@ TELEMETRY_SCHEMA = "repro.telemetry/1"
 
 #: Orchestration run-store shard files (``repro sweep --store``).
 ORCHESTRATION_SCHEMA = "repro.orchestration/1"
+
+#: Declarative fault-injection plans (``--faults plan.json``).
+FAULT_PLAN_SCHEMA = "repro.faults/1"
 
 #: The shape every schema identifier must match.
 SCHEMA_PATTERN = re.compile(r"^repro\.[a-z_]+/[0-9]+$")

@@ -138,6 +138,10 @@ class EventSimulator:
                 f"wake-up schedule covers {len(schedule)} nodes, channel has {channel.n}"
             )
         self._channel = channel
+        # Fault-aware channels pin their per-slot fault state (outage
+        # windows, jammer duty cycles) to real slot numbers through this
+        # hook; plain channels don't expose it and pay nothing.
+        self._slot_hook = getattr(channel, "begin_slot", None)
         self._nodes = list(nodes)
         self._schedule = schedule
         self._observers = list(observers)
@@ -283,6 +287,8 @@ class EventSimulator:
         )
 
     def _process_slot(self, slot: int) -> None:
+        if self._slot_hook is not None:
+            self._slot_hook(slot)
         profiler = self._profiler
         t0 = perf_counter() if profiler is not None else 0.0  # repro: noqa[DET001] profiler timing; never a decision input
         wakes: list[int] = []

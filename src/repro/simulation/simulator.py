@@ -89,6 +89,10 @@ class SlotSimulator:
                 f"wake-up schedule covers {len(schedule)} nodes, channel has {channel.n}"
             )
         self._channel = channel
+        # Fault-aware channels pin their per-slot fault state (outage
+        # windows, jammer duty cycles) to real slot numbers through this
+        # hook; plain channels don't expose it and pay nothing.
+        self._slot_hook = getattr(channel, "begin_slot", None)
         self._nodes = list(nodes)
         self._schedule = schedule
         self._observers = list(observers)
@@ -148,6 +152,8 @@ class SlotSimulator:
     def step(self) -> tuple[list[Transmission], list[Delivery]]:
         """Execute exactly one slot; returns its transmissions and deliveries."""
         slot = self._slot
+        if self._slot_hook is not None:
+            self._slot_hook(slot)
         profiler = self._profiler
         t0 = perf_counter() if profiler is not None else 0.0  # repro: noqa[DET001] profiler timing; never a decision input
 

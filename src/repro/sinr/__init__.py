@@ -15,6 +15,8 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 from .channel import (
     Channel,
     CollisionFreeChannel,
@@ -26,8 +28,21 @@ from .channel import (
 )
 from .engine import EngineCacheInfo, ResolutionEngine, SlotGeometry
 from .interference import InterferenceMeter, received_power, total_interference
-from .lossy import LossyChannel
 from .params import PhysicalParams
+
+if TYPE_CHECKING:
+    from .lossy import LossyChannel
+
+
+def __getattr__(name: str) -> Any:
+    # LossyChannel subclasses the fault layer's FaultyChannel, which in
+    # turn subclasses .channel's Channel; importing it lazily keeps this
+    # package importable from repro.faults without a cycle.
+    if name == "LossyChannel":
+        from .lossy import LossyChannel
+
+        return LossyChannel
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Channel",

@@ -4,91 +4,47 @@ The MW algorithm's correctness argument is built entirely on repetition —
 every message that matters is retransmitted with a fixed probability over
 a window sized so that *some* copy gets through w.h.p.  That structure
 should make the protocol robust to extra, unmodeled loss (fading bursts,
-hardware hiccups).  :class:`LossyChannel` wraps any channel and drops each
-successful delivery independently with probability ``drop``, letting tests
-and experiments quantify that robustness.
+hardware hiccups).  :class:`LossyChannel` quantifies that robustness; it
+is the historical single-knob interface over the general fault layer —
+the drop coin itself lives in :class:`~repro.faults.FaultyChannel`
+(i.i.d. loss is just a message-drop-only :class:`~repro.faults.FaultPlan`),
+so loss semantics cannot drift between this wrapper and full fault plans.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
-import numpy as np
-
-from .._validation import require_probability
-from ..simulation.rng import rng_from_seed
-from .channel import Channel, Delivery, Transmission
+from ..faults.channel import FaultyChannel
+from ..faults.plan import FaultPlan, MessageFaults
+from .channel import Channel
 
 __all__ = ["LossyChannel"]
 
 
-class LossyChannel(Channel):
+class LossyChannel(FaultyChannel):
     """Wrap ``inner`` and drop each delivery with probability ``drop``.
 
     Drops are i.i.d. per delivery, driven by a private generator seeded
-    with ``seed`` — runs stay reproducible.
+    with ``seed`` — runs stay reproducible, and the draw pattern is the
+    general fault layer's, so ``LossyChannel(inner, p, seed)`` is
+    bit-identical to a ``FaultyChannel`` with the equivalent plan.
     """
 
     def __init__(self, inner: Channel, drop: float, seed: int = 0) -> None:
-        super().__init__(inner.positions, inner.half_duplex)
-        require_probability("drop", drop)
-        self._inner = inner
-        self._drop = float(drop)
-        self._rng = rng_from_seed(seed)
-        self._dropped = 0
-        self._passed = 0
-        self._m_dropped = None
-
-    @property
-    def inner(self) -> Channel:
-        """The wrapped channel."""
-        return self._inner
+        super().__init__(
+            inner, FaultPlan(messages=MessageFaults(drop=drop)), seed=seed
+        )
 
     @property
     def drop(self) -> float:
         """Per-delivery drop probability."""
-        return self._drop
-
-    @property
-    def reach(self) -> float:
-        """The wrapped channel's reach."""
-        return self._inner.reach
+        return self.plan.messages.drop
 
     @property
     def dropped(self) -> int:
         """Deliveries destroyed so far."""
-        return self._dropped
+        return self.events.dropped
 
     @property
     def passed(self) -> int:
         """Deliveries that survived so far."""
-        return self._passed
-
-    def attach_metrics(self, metrics) -> None:
-        """Instrument the wrapper and the wrapped channel's engine.
-
-        The inner channel's ``resolve`` wrapper is deliberately *not*
-        instrumented — the lossy resolve time includes it, and stacking
-        both would double-count into ``channel.resolve_seconds``.
-        """
-        super().attach_metrics(metrics)
-        if not getattr(metrics, "enabled", True):
-            return
-        self._m_dropped = metrics.counter("channel.dropped_deliveries")
-        inner_engine = self._inner.engine
-        if inner_engine is not None:
-            inner_engine.attach_metrics(metrics)
-
-    def _resolve(self, transmissions: Sequence[Transmission]) -> list[Delivery]:
-        deliveries = self._inner.resolve(transmissions)
-        if not deliveries or self._drop == 0.0:
-            self._passed += len(deliveries)
-            return deliveries
-        keep_mask = self._rng.random(len(deliveries)) >= self._drop
-        kept = [d for d, keep in zip(deliveries, keep_mask) if keep]
-        dropped = len(deliveries) - len(kept)
-        self._dropped += dropped
-        self._passed += len(kept)
-        if self._m_dropped is not None:
-            self._m_dropped.inc(dropped)
-        return kept
+        return self.events.passed

@@ -237,65 +237,112 @@ def _parse_line(path: pathlib.Path, number: int, line: str) -> dict:
     return record
 
 
+#: Fields every ``slot`` record must carry (mirrors ``SlotProfile.as_record``).
+_SLOT_FIELDS = frozenset({"slot", "node_s", "resolve_s", "observer_s", "tx", "rx"})
+
+
+def _payload(path: pathlib.Path, number: int, record: dict, key: str) -> dict:
+    """The record's object payload, or a file+line error when mutated."""
+    payload = record.get(key, {})
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"{path}: line {number} is a {key} record whose {key!r} field "
+            "is not a JSON object — the artifact is corrupt"
+        )
+    return payload
+
+
 def read_run(path: str | pathlib.Path) -> RunArtifact:
     """Parse a telemetry JSONL file into a :class:`RunArtifact`.
 
-    Raises :class:`~repro.errors.ConfigurationError` on a missing or
-    incompatible header and on corrupt or truncated record lines (with
-    the line number); tolerates (and skips) unknown record kinds.
+    Raises :class:`~repro.errors.ConfigurationError` on every way the
+    file can be unusable — missing/unreadable, invalid UTF-8, a missing
+    or incompatible header, corrupt or truncated record lines (with the
+    line number) — and tolerates (skips) unknown record kinds.
     """
+    path = pathlib.Path(path)
+    try:
+        handle = path.open("r", encoding="utf-8")
+    except OSError as failure:
+        raise ConfigurationError(
+            f"cannot read telemetry file {path}: {failure}"
+        ) from failure
+    try:
+        return _read_records(path, handle)
+    except OSError as failure:
+        raise ConfigurationError(
+            f"cannot read telemetry file {path}: {failure}"
+        ) from failure
+    except UnicodeDecodeError as failure:
+        raise ConfigurationError(
+            f"{path}: invalid UTF-8 near byte {failure.start} — "
+            "the artifact is corrupt"
+        ) from failure
+    finally:
+        handle.close()
+
+
+def _read_records(path: pathlib.Path, handle: IO[str]) -> RunArtifact:
+    """The parse loop behind :func:`read_run` (which owns error wrapping)."""
     from ..simulation.trace import TraceRecorder
 
-    path = pathlib.Path(path)
-    with path.open("r", encoding="utf-8") as handle:
-        first = handle.readline()
-        if not first.strip():
-            raise ConfigurationError(f"{path} is empty — not a telemetry file")
-        header = _parse_line(path, 1, first)
-        if header.get("k") != "header":
-            raise ConfigurationError(
-                f"{path} does not start with a telemetry header record"
-            )
-        schema = header.get("schema", "")
-        if schema.split("/")[0] != SCHEMA.split("/")[0]:
-            raise ConfigurationError(
-                f"{path} has schema {schema!r}, expected {SCHEMA!r}"
-            )
-
-        trace = TraceRecorder(enabled=True)
-        artifact = RunArtifact(
-            path=path,
-            schema=schema,
-            command=header.get("command", ""),
-            meta=header.get("meta", {}),
-            trace=trace,
+    first = handle.readline()
+    if not first.strip():
+        raise ConfigurationError(f"{path} is empty — not a telemetry file")
+    header = _parse_line(path, 1, first)
+    if header.get("k") != "header":
+        raise ConfigurationError(
+            f"{path} does not start with a telemetry header record"
         )
-        for number, line in enumerate(handle, start=2):
-            line = line.strip()
-            if not line:
-                continue
-            record = _parse_line(path, number, line)
-            kind = record.get("k")
-            if kind == "trace":
-                try:
-                    trace.record(
-                        record["slot"], record["node"], record["kind"],
-                        record.get("detail"),
-                    )
-                except KeyError as missing:
-                    raise ConfigurationError(
-                        f"{path}: line {number} is a trace record missing "
-                        f"field {missing} — the artifact is corrupt"
-                    ) from missing
-            elif kind == "slot":
-                artifact.slots.append(record)
-            elif kind == "row":
-                artifact.rows.append(record.get("row", {}))
-            elif kind == "metrics":
-                artifact.metrics = record.get("metrics", {})
-            elif kind == "summary":
-                artifact.summary = record.get("summary", {})
-            # unknown kinds: skipped (forward compatibility)
+    schema = header.get("schema", "")
+    if not isinstance(schema, str) or schema.split("/")[0] != SCHEMA.split("/")[0]:
+        raise ConfigurationError(
+            f"{path} has schema {schema!r}, expected {SCHEMA!r}"
+        )
+
+    trace = TraceRecorder(enabled=True)
+    artifact = RunArtifact(
+        path=path,
+        schema=schema,
+        command=header.get("command", ""),
+        meta=header.get("meta", {}),
+        trace=trace,
+    )
+    for number, line in enumerate(handle, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        record = _parse_line(path, number, line)
+        kind = record.get("k")
+        if kind == "trace":
+            try:
+                trace.record(
+                    record["slot"], record["node"], record["kind"],
+                    record.get("detail"),
+                )
+            except KeyError as missing:
+                raise ConfigurationError(
+                    f"{path}: line {number} is a trace record missing "
+                    f"field {missing} — the artifact is corrupt"
+                ) from missing
+        elif kind == "slot":
+            # Validate here so a mutated slot record fails with a
+            # file+line error at read time, not a KeyError later in
+            # profile_summary().
+            missing = _SLOT_FIELDS.difference(record)
+            if missing:
+                raise ConfigurationError(
+                    f"{path}: line {number} is a slot record missing "
+                    f"field(s) {sorted(missing)} — the artifact is corrupt"
+                )
+            artifact.slots.append(record)
+        elif kind == "row":
+            artifact.rows.append(_payload(path, number, record, "row"))
+        elif kind == "metrics":
+            artifact.metrics = _payload(path, number, record, "metrics")
+        elif kind == "summary":
+            artifact.summary = _payload(path, number, record, "summary")
+        # unknown kinds: skipped (forward compatibility)
     # The exported trace is frozen history: keep the events readable but
     # make accidental appends explicit no-ops.
     trace.enabled = False

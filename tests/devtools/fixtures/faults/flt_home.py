@@ -1,0 +1,14 @@
+"""FLT001 exemption fixture: the sanctioned wrapper site is faults/."""
+
+from __future__ import annotations
+
+
+class SanctionedWrapper:
+    """Inside faults/ the delegate-and-mutate idiom is the design."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def _resolve(self, transmissions):
+        deliveries = self._inner.resolve(transmissions)
+        return [d for d in deliveries if d is not None]

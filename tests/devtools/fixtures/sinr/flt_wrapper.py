@@ -1,0 +1,24 @@
+"""FLT001 fixture: an ad-hoc fault wrapper inside a protocol package."""
+
+from __future__ import annotations
+
+
+class HalvingChannel:
+    """Drops every other delivery — fault behaviour outside repro.faults."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def _resolve(self, transmissions):
+        deliveries = self._inner.resolve(transmissions)
+        return deliveries[::2]
+
+
+class PlainChannel:
+    """A leaf channel computing its own deliveries — not a wrapper."""
+
+    def _resolve(self, transmissions):
+        return [self._deliver(t) for t in transmissions]
+
+    def _deliver(self, transmission):
+        return transmission

@@ -97,6 +97,19 @@ class TestTelemetryRule:
         assert lines_in("tel_schema.py", "TEL001") == [5]
 
 
+class TestFaultBoundaryRule:
+    def test_flt001_flags_wrapper_but_not_leaf_channel(self):
+        # HalvingChannel._resolve delegates to inner.resolve (flagged);
+        # PlainChannel._resolve computes deliveries itself (clean).
+        assert codes_in("sinr/flt_wrapper.py", "FLT001") == ["FLT001"]
+
+    def test_flt001_exempts_the_faults_package(self):
+        assert codes_in("faults/flt_home.py", "FLT001") == []
+
+    def test_flt001_ignores_packages_outside_the_protocol_core(self):
+        assert codes_in("clean_module.py", "FLT001") == []
+
+
 class TestErrorRules:
     def test_err001_flags_bare_except(self):
         assert codes_in("err_swallow.py", "ERR001") == ["ERR001"]

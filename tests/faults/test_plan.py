@@ -1,0 +1,206 @@
+"""FaultPlan: validation, composition, serialisation, file loading."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultPlan,
+    Jammer,
+    MessageFaults,
+    NodeOutage,
+    SlotSkew,
+    WakeupSpec,
+    load_fault_plan,
+)
+from repro.schemas import FAULT_PLAN_SCHEMA
+
+
+class TestComponents:
+    def test_outage_window_semantics(self):
+        outage = NodeOutage(node=3, start=10, stop=20)
+        assert not outage.down(9)
+        assert outage.down(10) and outage.down(19)
+        assert not outage.down(20)
+
+    def test_crash_without_restart_is_forever(self):
+        crash = NodeOutage(node=0, start=5)
+        assert crash.down(5) and crash.down(10**9)
+
+    def test_outage_rejects_empty_window(self):
+        with pytest.raises(ConfigurationError, match="stop"):
+            NodeOutage(node=0, start=7, stop=7)
+
+    def test_pulsed_jammer_duty_cycle(self):
+        jammer = Jammer(x=0.0, y=0.0, power=10.0, start=4, period=3, duty=1)
+        assert [jammer.active(s) for s in range(4, 10)] == [
+            True, False, False, True, False, False,
+        ]
+        assert not jammer.active(3)
+
+    def test_jammer_rejects_duty_beyond_period(self):
+        with pytest.raises(ConfigurationError, match="duty"):
+            Jammer(x=0.0, y=0.0, power=1.0, period=2, duty=3)
+
+    def test_message_faults_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MessageFaults(drop=1.5)
+        with pytest.raises(ConfigurationError):
+            MessageFaults(corrupt=-0.1)
+        assert MessageFaults().empty
+        assert not MessageFaults(corrupt=0.2).empty
+
+    def test_skew_periodicity(self):
+        skew = SlotSkew(node=1, period=4, phase=2)
+        assert [skew.desynced(s) for s in range(2, 8)] == [
+            True, False, False, False, True, False,
+        ]
+
+
+class TestWakeupSpec:
+    def test_synchronous_default(self):
+        schedule = WakeupSpec().schedule(5)
+        assert list(schedule.wake_slots) == [0, 0, 0, 0, 0]
+
+    def test_random_prefers_own_seed(self):
+        spec = WakeupSpec(pattern="random", max_delay=50, seed=9)
+        a = spec.schedule(20, seed=123)
+        b = spec.schedule(20, seed=456)
+        assert np.array_equal(a.wake_slots, b.wake_slots)
+
+    def test_random_falls_back_to_run_seed(self):
+        spec = WakeupSpec(pattern="random", max_delay=50)
+        a = spec.schedule(20, seed=1)
+        b = spec.schedule(20, seed=2)
+        assert not np.array_equal(a.wake_slots, b.wake_slots)
+
+    def test_bursts_wakes_in_waves(self):
+        spec = WakeupSpec(pattern="bursts", interval=10, burst=3)
+        schedule = spec.schedule(7)
+        assert list(schedule.wake_slots) == [0, 0, 0, 10, 10, 10, 20]
+
+    def test_burst_of_one_degenerates_to_staggered(self):
+        bursty = WakeupSpec(pattern="bursts", interval=7, burst=1).schedule(6)
+        staggered = WakeupSpec(pattern="staggered", interval=7).schedule(6)
+        assert np.array_equal(bursty.wake_slots, staggered.wake_slots)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WakeupSpec(pattern="avalanche")
+
+
+class TestFaultPlan:
+    def test_empty_plan_classifies_as_empty(self):
+        plan = FaultPlan()
+        assert plan.empty and not plan.has_channel_faults
+        assert plan.max_node() == -1
+
+    def test_wakeup_only_plan_has_no_channel_faults(self):
+        plan = FaultPlan(wakeup=WakeupSpec(pattern="staggered", interval=5))
+        assert not plan.has_channel_faults
+        assert not plan.empty
+
+    def test_component_type_validation(self):
+        with pytest.raises(ConfigurationError, match="NodeOutage"):
+            FaultPlan(outages=[{"node": 0}])
+        with pytest.raises(ConfigurationError, match="MessageFaults"):
+            FaultPlan(messages={"drop": 0.5})
+
+    def test_max_node_spans_outages_and_skews(self):
+        plan = FaultPlan(
+            outages=[NodeOutage(node=4)], skews=[SlotSkew(node=9, period=2)]
+        )
+        assert plan.max_node() == 9
+
+    def test_merge_concatenates_and_overrides(self):
+        base = FaultPlan(
+            outages=[NodeOutage(node=1)],
+            messages=MessageFaults(drop=0.1),
+            seed=7,
+        )
+        layer = FaultPlan(
+            outages=[NodeOutage(node=2)],
+            wakeup=WakeupSpec(pattern="staggered", interval=3),
+        )
+        merged = base.merge(layer)
+        assert [o.node for o in merged.outages] == [1, 2]
+        assert merged.messages.drop == 0.1  # layer's empty messages defer
+        assert merged.wakeup is not None and merged.wakeup.interval == 3
+        assert merged.seed == 7
+        override = base.merge(FaultPlan(messages=MessageFaults(drop=0.4), seed=2))
+        assert override.messages.drop == 0.4 and override.seed == 2
+
+    def test_round_trip_is_exact(self):
+        plan = FaultPlan(
+            outages=[NodeOutage(node=1, start=3, stop=9)],
+            jammers=[Jammer(x=1.0, y=2.0, power=5.0, period=4, duty=2)],
+            messages=MessageFaults(drop=0.2, corrupt=0.05),
+            skews=[SlotSkew(node=0, period=6, phase=1)],
+            wakeup=WakeupSpec(pattern="random", max_delay=100, seed=3),
+            jam_threshold=0.5,
+            seed=11,
+        )
+        payload = json.loads(json.dumps(plan.to_dict()))
+        assert payload["schema"] == FAULT_PLAN_SCHEMA
+        assert FaultPlan.from_dict(payload) == plan
+
+    def test_from_dict_rejects_unknown_keys_and_wrong_schema(self):
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            FaultPlan.from_dict({"jitter": 1})
+        with pytest.raises(ConfigurationError, match="schema"):
+            FaultPlan.from_dict({"schema": "repro.faults/999"})
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            FaultPlan.from_dict({"outages": [{"node": 0, "spin": 3}]})
+
+    def test_coerce_passes_plans_and_validates_mappings(self):
+        plan = FaultPlan(seed=5)
+        assert FaultPlan.coerce(plan) is plan
+        assert FaultPlan.coerce(plan.to_dict()) == plan
+
+    def test_fallback_threshold_precedence(self):
+        class Params:
+            beta = 2.0
+            noise = 0.25
+
+        explicit = FaultPlan(jam_threshold=1.5)
+        assert explicit.fallback_threshold(Params()) == 1.5
+        derived = FaultPlan()
+        assert derived.fallback_threshold(Params()) == 0.5
+        with pytest.raises(ConfigurationError, match="jam_threshold"):
+            derived.fallback_threshold(None)
+
+
+class TestLoadFaultPlan:
+    def test_loads_a_valid_file(self, tmp_path):
+        plan = FaultPlan(messages=MessageFaults(drop=0.3), seed=1)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()), encoding="utf-8")
+        assert load_fault_plan(path) == plan
+
+    def test_missing_file_names_path(self, tmp_path):
+        path = tmp_path / "absent.json"
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_fault_plan(path)
+
+    def test_invalid_json_names_line(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"schema": "x",\n  broken', encoding="utf-8")
+        with pytest.raises(ConfigurationError, match=r"line \d+"):
+            load_fault_plan(path)
+
+    def test_object_without_schema_rejected(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"outages": []}), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="schema"):
+            load_fault_plan(path)
+
+    def test_bad_field_error_names_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        payload = {"schema": FAULT_PLAN_SCHEMA, "messages": {"drop": 2.0}}
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="plan.json"):
+            load_fault_plan(path)

@@ -167,3 +167,93 @@ class TestCoincidentSenders:
         positions = np.array([[2.0, 2.0], [2.0, 2.0], [2.5, 2.0]])
         channel = SINRChannel(positions, PARAMS)
         assert resolve(channel, [0, 1]) == []
+
+
+@st.composite
+def faulted_scenario(draw):
+    """A channel scenario plus a random (valid) fault plan over it."""
+    from repro.faults import (
+        FaultPlan,
+        MessageFaults,
+        NodeOutage,
+        SlotSkew,
+    )
+
+    positions, senders = draw(scenario())
+    n = len(positions)
+    outages = [
+        NodeOutage(node=node, start=start)
+        for node, start in draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, 4)),
+                max_size=3,
+            )
+        )
+    ]
+    skews = [
+        SlotSkew(node=node, period=period)
+        for node, period in draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(1, 4)),
+                max_size=3,
+            )
+        )
+    ]
+    messages = MessageFaults(
+        drop=draw(st.floats(0.0, 0.9)), corrupt=draw(st.floats(0.0, 0.5))
+    )
+    plan = FaultPlan(outages=outages, skews=skews, messages=messages)
+    return positions, senders, plan
+
+
+class TestFaultyChannelProperties:
+    """The fault wrapper preserves every universal channel guarantee."""
+
+    @given(faulted_scenario(), st.integers(0, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_wrapper_preserves_universal_guarantees(self, data, slot):
+        from repro.faults import FaultyChannel
+
+        positions, senders, plan = data
+        for inner in all_channels(positions):
+            channel = FaultyChannel(inner, plan, seed=5)
+            channel.begin_slot(slot)
+            deliveries = resolve(channel, senders)
+            receivers = [d.receiver for d in deliveries]
+            # one radio per node: at most one decoded message
+            assert len(receivers) == len(set(receivers))
+            for delivery in deliveries:
+                # half-duplex survives wrapping
+                assert delivery.receiver not in senders
+                # a down radio neither sends nor receives
+                assert not channel.node_down(delivery.sender, slot)
+                assert not channel.node_down(delivery.receiver, slot)
+                # a desynced sender's frames are undecodable
+                assert not channel._desynced(delivery.sender, slot)
+
+    @given(faulted_scenario())
+    @settings(max_examples=30, deadline=None)
+    def test_fault_ledger_balances(self, data):
+        from repro.faults import FaultyChannel
+
+        positions, senders, plan = data
+        inner = CollisionFreeChannel(positions, PARAMS.r_t)
+        reference = CollisionFreeChannel(positions, PARAMS.r_t)
+        channel = FaultyChannel(inner, plan, seed=5)
+        channel.begin_slot(0)
+        delivered = len(resolve(channel, senders))
+        events = channel.events
+        assert events.passed == delivered
+        # every delivery the bare channel would have made is either
+        # delivered or accounted to exactly one post-resolve fault stage
+        surviving_tx = [
+            s for s in senders if not channel.node_down(s, 0)
+        ]
+        baseline = len(resolve(reference, surviving_tx))
+        assert delivered + (
+            events.desynced_deliveries
+            + events.down_receiver_losses
+            + events.jammed
+            + events.dropped
+            + events.corrupted
+        ) == baseline

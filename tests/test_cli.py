@@ -143,3 +143,75 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["teleport"])
+
+
+class TestFaultsFlag:
+    def _plan(self, tmp_path, payload=None):
+        import json
+
+        from repro.faults import FaultPlan, MessageFaults, NodeOutage
+
+        path = tmp_path / "plan.json"
+        plan = FaultPlan(
+            outages=[NodeOutage(node=0, start=0, stop=50)],
+            messages=MessageFaults(drop=0.2),
+        )
+        path.write_text(
+            json.dumps(payload if payload is not None else plan.to_dict()),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_color_with_faults_reports_degradation(self, tmp_path, capsys):
+        path = self._plan(tmp_path)
+        code = main(
+            ["color", "--n", "25", "--extent", "3", "--seed", "2",
+             "--faults", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "degradation under" in out
+        assert "fault_dropped" in out
+
+    def test_bad_plan_exits_two_with_message(self, tmp_path, capsys):
+        path = self._plan(tmp_path, payload={"schema": "wrong/9"})
+        code = main(
+            ["color", "--n", "25", "--extent", "3", "--faults", str(path)]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot load fault plan" in err
+
+    def test_srs_with_faults_prints_events(self, tmp_path, capsys):
+        # Node 0 is the flooding source and its radio is down for the
+        # whole first frame: its one transmission is suppressed, the
+        # flood never starts, and the run reports failure-to-halt
+        # (exit 1) instead of crashing — graceful degradation.
+        path = self._plan(tmp_path)
+        code = main(
+            ["srs", "--n", "100", "--extent", "6", "--seed", "24",
+             "--algorithm", "flooding", "--max-rounds", "30",
+             "--faults", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "fault events under" in out
+        assert "suppressed_transmissions" in out
+
+    def test_srs_with_gentle_faults_still_halts(self, tmp_path, capsys):
+        import json
+
+        from repro.faults import FaultPlan, MessageFaults
+
+        path = tmp_path / "gentle.json"
+        path.write_text(
+            json.dumps(FaultPlan(messages=MessageFaults(drop=0.05)).to_dict()),
+            encoding="utf-8",
+        )
+        code = main(
+            ["srs", "--n", "100", "--extent", "6", "--seed", "24",
+             "--algorithm", "flooding", "--faults", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # drops may or may not break exactness
+        assert "fault events under" in out
