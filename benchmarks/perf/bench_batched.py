@@ -1,0 +1,132 @@
+"""Batched-execution benchmark: ``run_mw_coloring_batched`` vs the serial loop.
+
+Times S independent MW coloring runs two ways through the public entry
+points — a serial ``run_mw_coloring`` loop, and one
+``run_mw_coloring_batched`` call — and writes the table to
+``BENCH_batched.json`` next to this file.  That JSON is committed: it is
+the repo's batching baseline (headline: ``speedup``, the acceptance line
+is >= 5x at S=32, n=500), and future PRs regress against it.
+
+Before timing is trusted, every batched run is cross-checked against its
+serial twin (colors, decision slots, run stats) — a benchmark that
+measures a wrong answer is worse than none.  The comparison is the bit
+parity contract of ``tests/batch/``, so a divergence here is a bug, not
+noise.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_batched.py          # full, ~10 min
+    PYTHONPATH=src python benchmarks/perf/bench_batched.py --quick  # CI smoke
+
+(The script falls back to inserting ``src/`` into ``sys.path`` itself, so
+plain ``python benchmarks/perf/bench_batched.py`` also works.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent.parent
+
+try:  # allow running without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.batch import run_mw_coloring_batched
+from repro.coloring.runner import run_mw_coloring
+from repro.geometry.deployment import uniform_deployment
+
+OUT = HERE / "BENCH_batched.json"
+
+#: nodes per unit^2 of the repo's n=100, extent-6 baseline density
+DENSITY = 100 / 36.0
+
+
+def _measure(n: int, batch: int, deployment_seed: int) -> dict:
+    extent = math.sqrt(n / DENSITY)
+    deployment = uniform_deployment(n, extent, seed=deployment_seed)
+    seeds = list(range(batch))
+
+    start = time.perf_counter()
+    serial = [run_mw_coloring(deployment, seed=seed) for seed in seeds]
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = run_mw_coloring_batched(seeds, deployment)
+    batched_s = time.perf_counter() - start
+
+    for expected, actual in zip(serial, batched):  # pragma: no branch
+        if not (
+            np.array_equal(expected.coloring.colors, actual.coloring.colors)
+            and np.array_equal(expected.decision_slots, actual.decision_slots)
+            and expected.stats == actual.stats
+        ):  # pragma: no cover - bench guard
+            raise SystemExit(f"n={n} S={batch}: batched diverges from serial")
+
+    return {
+        "n": n,
+        "batch": batch,
+        "extent": round(extent, 2),
+        "serial_s": serial_s,
+        "serial_per_run_s": serial_s / batch,
+        "batched_s": batched_s,
+        "batched_per_run_s": batched_s / batch,
+        "speedup": serial_s / batched_s,
+        "slots": [result.stats.slots_run for result in batched],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload for CI smoke"
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=OUT)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        workloads = [(120, 8)]
+    else:
+        workloads = [(120, 8), (500, 32)]
+
+    results = [
+        _measure(n, batch, deployment_seed=7) for n, batch in workloads
+    ]
+
+    report = {
+        "benchmark": "batched-vs-serial",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "note": (
+            "one run_mw_coloring_batched call vs a serial run_mw_coloring "
+            "loop over the same seeds; results cross-checked bit-identical "
+            "before timing is reported"
+        ),
+        "results": results,
+        # headline: the largest workload's batched speedup
+        "speedup": results[-1]["speedup"],
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for row in results:
+        print(
+            f"n={row['n']} S={row['batch']}: serial {row['serial_s']:.1f}s "
+            f"({row['serial_per_run_s']:.2f}s/run), batched "
+            f"{row['batched_s']:.1f}s -> {row['speedup']:.2f}x"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

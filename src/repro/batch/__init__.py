@@ -1,0 +1,29 @@
+"""Batched multi-run execution: S scalar-identical MW runs, one computation.
+
+Public surface:
+
+* :func:`~repro.batch.runner.run_mw_coloring_batched` — the batched twin
+  of :func:`~repro.coloring.runner.run_mw_coloring`; one
+  :class:`~repro.coloring.result.MWColoringResult` per seed,
+  bit-identical to the scalar path.
+* :func:`~repro.batch.planner.derive_streams` — the only sanctioned RNG
+  construction site of the subsystem (lint rule BAT001).
+* :func:`~repro.batch.planner.batch_groups` /
+  :class:`~repro.batch.planner.BatchGroup` — fold seed-contiguous sweep
+  units into batchable groups for the orchestration worker.
+
+See ``docs/PERFORMANCE.md`` ("Batched multi-run execution") for the
+memory model and when to batch versus shard.
+"""
+
+from __future__ import annotations
+
+from .planner import BatchGroup, batch_groups, derive_streams
+from .runner import run_mw_coloring_batched
+
+__all__ = [
+    "BatchGroup",
+    "batch_groups",
+    "derive_streams",
+    "run_mw_coloring_batched",
+]

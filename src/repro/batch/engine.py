@@ -1,0 +1,1255 @@
+"""Lockstep execution of S independent MW runs over stacked state arrays.
+
+The scalar :class:`~repro.simulation.event_sim.EventSimulator` processes
+one *active* slot at a time, popping a heap of (wake, timer, tx) events.
+:class:`BatchEngine` runs S such simulations in lockstep: every pass
+advances each active run to its own next event slot (runs keep private
+clocks — slot numbers are never synchronised across runs), executing the
+scalar pass structure phase by phase over ``(S, n)`` arrays:
+
+1. fault/slot hooks, 2. wake-ups, 3. timers (listen-end, threshold,
+serve-end), 4. transmissions (payload tables + resample draws),
+5. per-run channel resolution, 6. receptions, 7. observers + counters.
+
+**Bit parity is the contract.**  Three mechanisms make it hold:
+
+* *Heap mirrors.*  Each run keeps a heap of pushed event slots mirroring
+  the scalar heap's slot column, including entries that later become
+  stale (replaced timers, invalidated transmission draws).  The scalar
+  engine still *processes* those slots — observable through the
+  ``sim.slots`` metric, observer callbacks and fault clock hooks — so
+  the batched engine replays exactly the same pass sequence.  Firing
+  conditions themselves are pure array predicates (``next_timer == t``,
+  ``next_tx == t``): a heap entry always exists for a slot that
+  satisfies them.  The timer mask is taken *before* wake-ups are applied
+  because the scalar pops timer events before dispatching wakes: a timer
+  armed by ``on_wake`` for the current slot fires one replay pass later.
+* *Exact draw sites.*  Every RNG consumption (geometric gap draws at
+  rate changes and per-transmission resampling) happens for the same
+  node, from the same per-node stream, in the same per-node order as the
+  scalar run.  Streams come exclusively from the batch planner.
+* *Scalar-shape channel math.*  Cross-run stacking of the SINR
+  resolution is **not** bitwise safe (BLAS matmul and pairwise-sum
+  reductions change with shape), so each run resolves its own
+  contiguous ``(n, k)`` system with the exact op sequence of
+  :class:`~repro.sinr.engine.SlotGeometry` — either inline through the
+  pooled :class:`_FastSinr` (clean SINR runs) or through the run's real
+  channel object (faults, telemetry, observers, non-SINR channels).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from ..sinr.channel import Transmission
+from ..coloring.messages import MsgA, MsgC, MsgR
+from .state import (
+    BatchState,
+    PAY_A,
+    PAY_C,
+    PAY_GRANT,
+    PAY_R,
+    STATE_A,
+    STATE_C,
+    STATE_R,
+    chi_rows,
+)
+
+__all__ = ["BatchEngine", "BatchRun"]
+
+
+def _matmul_out_stable() -> bool:
+    """Whether ``np.matmul(..., out=)`` is bitwise-identical to ``a @ b``.
+
+    The fast path reuses a pooled output buffer for the Gram-expansion
+    matmul; this deterministic probe (no RNG — resume-safe) guards
+    against BLAS builds that pick a different kernel for the ``out=``
+    form.  On mismatch the fast path falls back to fresh allocation.
+    """
+    a = (np.arange(24, dtype=np.float64) / 7.0 + 0.123).reshape(12, 2)
+    b = np.ascontiguousarray(a[[0, 3, 5, 9]])
+    ref = a @ b.T
+    out = np.empty_like(ref)
+    np.matmul(a, b.T, out=out)
+    return bool((ref == out).all())
+
+
+_MATMUL_OUT_OK = _matmul_out_stable()
+
+
+class _ResolveCat:
+    """Per-receiver result lanes for staged SINR resolution.
+
+    ``stage1`` writes each run's per-receiver quantities into
+    ``[off, off + m)`` slices of these arrays, so the slot's runs can
+    share one threshold/compare pass (``finish``) over the
+    concatenation — every op in that tail is elementwise, so batching
+    rows across runs cannot change any element's bits.  Lanes are
+    written before they are read on every pass; nothing persists.
+    """
+
+    __slots__ = ("total", "col", "best", "bdist", "thr", "dec", "rng")
+
+    def __init__(self, cap: int) -> None:
+        self.total = np.empty(cap)
+        self.col = np.empty(cap, dtype=np.intp)
+        self.best = np.empty(cap)
+        self.bdist = np.empty(cap)
+        self.thr = np.empty(cap)
+        self.dec = np.empty(cap, dtype=bool)
+        self.rng = np.empty(cap, dtype=bool)
+
+
+class _FastSinr:
+    """Inline SINR resolution with exact scalar op order on pruned rows.
+
+    Replays :meth:`ResolutionEngine._distance_sq` +
+    :meth:`SlotGeometry.power` + :meth:`SINRChannel._reception_of`, but
+    only for receiver rows that can possibly decode.  Two provable
+    reductions make this bit-exact rather than merely close:
+
+    * *Row pruning.*  A node farther than ``r_t`` from every sender
+      fails the scalar path's ``in_range`` test no matter how its
+      distance rounds, so it can be dropped before the per-row math.
+      ``__init__`` builds a one-time CSR neighbour table from *true*
+      squared distances widened by a conservative float-error bound for
+      the engine's Gram expansion (``|x|² - 2x·y + |y|²``); any row the
+      expansion could place within ``r_t`` is in the table.  Every
+      per-row op downstream of the matmul (elementwise arithmetic, the
+      axis-1 sum and argmax) is computed row by row over contiguous
+      memory in both shapes, so gathering a row subset into a contiguous
+      ``(m, k)`` block yields bitwise-identical values per surviving
+      row, and gathering in ascending row order preserves the scalar
+      receiver ordering.  The matmul itself keeps the full ``(n, k)``
+      shape — BLAS results are shape-dependent — unless the
+      once-per-deployment Gram probe (see ``__init__``) proves the
+      cached product table bit-equal to a live matmul for every gated
+      ``(k, column)`` shape, in which case the whole per-pair arithmetic
+      is pretabled (elementwise ufunc bits are position-independent) and
+      the candidate rows gather straight from the distance / power
+      tables.
+    * *Dead clamps.*  ``maximum(dist_sq, 0)`` can never change an
+      outcome — both downstream compares (``<= r_t²`` and
+      ``maximum(·, floor²)``) treat a clamped 0 and any negative
+      identically because ``r_t² > 0`` and ``floor² > 0``.  And
+      ``maximum(dist_sq, floor²)`` is the identity whenever the
+      deployment's closest *distinct* pair clears the near-field floor
+      by more than the same error bound — checked once in ``__init__``,
+      with the clamp kept as a fallback.  Self-pairs sit at distance 0,
+      below any floor, but only surface as senders' own matrix entries:
+      under half-duplex those rows are pruned, and otherwise both paths
+      overwrite those entries with 0 before the sum/argmax, so their
+      pre-overwrite value is dead (``resolve`` plants a safe positive
+      value there first purely to keep the power-law divide from
+      raising on a ~0 denominator).
+
+    Pooled ``(n, k)`` matmul buffers are fully overwritten each use, so
+    pooling cannot leak state between slots or runs.  Only eligible for
+    clean runs — no faults, no telemetry, no observers — where skipping
+    object construction is observably equivalent.
+    """
+
+    def __init__(self, positions, params, half_duplex: bool) -> None:
+        self._pos = positions
+        self._sq_norms = np.einsum("ij,ij->i", positions, positions)
+        n = self._n = len(positions)
+        floor = params.r_t * 1e-6
+        self._floor_sq = floor * floor
+        self._power = params.power
+        self._alpha = params.alpha
+        self._beta = params.beta
+        self._noise = params.noise
+        self._rt_sq = params.r_t * params.r_t
+        self._half_duplex = half_duplex
+        self._pool: dict[int, np.ndarray] = {}
+        half = 0.5 * self._alpha
+        self._half = half
+        self._int_half = int(half) if half == int(half) and 1 <= half <= 8 else 0
+        # --- one-time neighbour table from true distances -------------
+        # Error bound for |x|^2 - 2 x.y + |y|^2 vs true ||x-y||^2: each
+        # term is exact to ~eps of its own magnitude and the three adds
+        # lose ~eps of the largest intermediate; 64 ulps of the largest
+        # magnitude in play is orders of magnitude beyond worst case.
+        sq_max = float(self._sq_norms.max()) if n else 0.0
+        delta = 64.0 * np.finfo(np.float64).eps * (2.0 * sq_max + self._rt_sq + 1.0)
+        indptr = np.zeros(n + 1, dtype=np.intp)
+        chunks: list[np.ndarray] = []
+        min_off = np.inf
+        step = max(1, min(n, 4_000_000 // max(n, 1)))
+        for lo in range(0, n, step):
+            diff = positions[lo : lo + step, None, :] - positions[None, :, :]
+            d2 = np.einsum("ijk,ijk->ij", diff, diff)
+            for i in range(lo, min(n, lo + step)):
+                row = d2[i - lo]
+                near = np.flatnonzero(row <= self._rt_sq + delta).astype(np.intp)
+                indptr[i + 1] = indptr[i] + near.size
+                chunks.append(near)
+                row[i] = np.inf
+                m = row.min() if n > 1 else np.inf
+                if m < min_off:
+                    min_off = m
+        self._nbr_indptr = indptr
+        self._nbr_cols = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.intp)
+        )
+        # Dense padded mirror of the CSR table (pad value n = sentinel
+        # row in the mark scratch): one gather + one scatter per resolve
+        # instead of per-sender slicing.  Skipped for huge dense tables.
+        deg = np.diff(indptr)
+        maxdeg = int(deg.max()) if n else 0
+        self._nbr_pad: np.ndarray | None = None
+        if n * maxdeg <= 4_000_000:
+            pad = np.full((n, maxdeg), n, dtype=np.intp)
+            for i in range(n):
+                pad[i, : deg[i]] = self._nbr_cols[indptr[i] : indptr[i + 1]]
+            self._nbr_pad = pad
+        # Self-distances (0 < floor) only surface through sender
+        # self-columns, which both paths zero before any comparison, so
+        # the floor clamp is droppable iff every *distinct* pair clears
+        # the floor with margin.
+        self._skip_floor = bool(min_off > self._floor_sq + delta)
+        # ``best_power >= beta * (noise + interference)`` already implies
+        # ``best_power > 0`` whenever beta * noise rounds positive: the
+        # interference is a pairwise sum of non-negatives minus one of
+        # them (>= 0 under round-to-nearest), and rounding is monotone,
+        # so the decodable threshold is >= fl(beta * noise) > 0.  The
+        # explicit positivity check is then dead and skipped.
+        self._need_pos = not (self._beta * self._noise > 0.0)
+        # one sentinel row past the end absorbs the pad-value scatters
+        mark = np.zeros(n + 1, dtype=bool)
+        self._mark = mark
+        self._mark_n = mark[:n]
+        self._inv = np.zeros(n, dtype=np.intp)
+        self._arange = np.arange(n, dtype=np.intp)
+        self._flatbuf = np.empty(n, dtype=np.intp)
+        self._empty = np.empty(0, dtype=np.intp)
+        # Pooled scratch for the per-resolve pipeline: every buffer is
+        # fully (re)written before it is read on each call, so pooling
+        # only removes allocator traffic, never carries state.  The two
+        # (m, k)-shaped planes grow on demand.
+        if self._nbr_pad is not None:
+            self._padbuf = np.empty(self._nbr_pad.shape, dtype=np.intp)
+        self._selbuf = np.empty(positions.shape)
+        self._fm1 = np.empty(n)
+        self._fk1 = np.empty(n)
+        self._im1 = np.empty(n, dtype=np.intp)
+        self._scr1 = np.empty(0)
+        self._scr2 = np.empty(0)
+        self._iscr = np.empty(0, dtype=np.intp)
+        self._cat = _ResolveCat(n)
+        # --- bit-verified distance / power tables ---------------------
+        # For 2 <= k <= n - 1 this BLAS build computes each column of
+        # ``pos @ sel.T`` with a fixed instruction sequence that depends
+        # on the shape and column position, never on the other columns'
+        # values, so every sender's product column can be precomputed
+        # once.  That is a property of the build, not of any standard,
+        # so it is *proved* per deployment: the probe compares, for
+        # every gated k, a real matmul (same ``out=`` call form as
+        # ``stage1``) against the cached table at every column position,
+        # plus rotated sender selections as a cross-check of the
+        # value-independence assumption.  Any mismatch disables the
+        # cache; the fallback is the per-resolve matmul — never a
+        # parity break.  k = 1 (GEMV kernel) and k = n (tail-column
+        # blocking changes) are excluded by the gate itself.
+        #
+        # On a verified table the per-call arithmetic collapses too:
+        # every op from the Gram expansion down to the received-power
+        # matrix is *elementwise*, and elementwise ufunc bits do not
+        # depend on array shape or element position, so applying the
+        # exact per-call op chain once over the full (n, n) table
+        # yields, at every (receiver, sender) pair, the bits the
+        # fallback would compute per call.  stage1 then just gathers.
+        self._dsq_flat = np.empty(0)
+        self._rcv_flat = np.empty(0)
+        self._gram_kmax = 0
+        if _MATMUL_OUT_OK and 4 <= n <= 2048:
+            kmax = n - 1
+            gram = np.empty((n, n))
+            lo = 0
+            while lo < n:
+                hi = min(n, lo + 128)
+                if hi - lo < 2:
+                    lo = hi - 2
+                tmp = np.empty((n, hi - lo))
+                np.matmul(positions, positions[lo:hi].T, out=tmp)
+                gram[:, lo:hi] = tmp
+                lo = hi
+            scr = np.empty(n * kmax)
+            ok = True
+            for k in range(2, kmax + 1):
+                out = scr[: n * k].reshape(n, k)
+                np.matmul(positions, positions[:k].T, out=out)
+                if not np.array_equal(gram[:, :k], out):
+                    ok = False  # pragma: no cover - BLAS-build dependent
+                    break  # pragma: no cover
+            if ok:
+                for k in sorted({2, 3, min(7, kmax), min(257, kmax), kmax}):
+                    for r in {1, k // 2, n - k}:
+                        sel = (np.arange(k, dtype=np.intp) + r) % n
+                        out = scr[: n * k].reshape(n, k)
+                        np.matmul(positions, positions[sel].T, out=out)
+                        if not np.array_equal(gram[:, sel], out):
+                            ok = False  # pragma: no cover - build dependent
+                            break  # pragma: no cover
+                    if not ok:
+                        break  # pragma: no cover - build dependent
+            if ok:
+                self._gram_kmax = kmax
+                # Expand the verified products to the full per-pair
+                # distance and received-power tables with the *exact*
+                # elementwise op chain ``stage1``'s fallback applies per
+                # call (multiply by -2 is exact; every subsequent op is
+                # an elementwise ufunc, whose bits are position- and
+                # shape-independent).  Self-pairs (d ~ 0) divide to inf
+                # under a floor-free power law — those entries are dead:
+                # half-duplex prunes sender rows, and otherwise stage1
+                # zeroes sender self-columns before any reduction,
+                # exactly as the fallback does.
+                gram *= -2.0
+                gram += self._sq_norms[:, None]
+                gram += self._sq_norms[None, :]
+                dsq = gram
+                if self._skip_floor:
+                    clamped = dsq
+                else:  # pragma: no cover - needs a sub-floor distinct pair
+                    clamped = np.maximum(dsq, self._floor_sq)
+                with np.errstate(divide="ignore"):
+                    if self._half == 2.0:
+                        rcv = np.square(clamped)
+                        np.divide(self._power, rcv, out=rcv)
+                    elif self._int_half:
+                        rcv = clamped.copy()
+                        for _ in range(self._int_half - 1):
+                            rcv *= clamped
+                        np.divide(self._power, rcv, out=rcv)
+                    else:
+                        rcv = np.power(clamped, -self._half)
+                        rcv *= self._power
+                self._dsq_flat = dsq.reshape(-1)
+                self._rcv_flat = rcv.reshape(-1)
+
+    def _candidate_rows(
+        self, senders: np.ndarray, awake_row: np.ndarray, awake_all: bool
+    ):
+        """Ascending rows within ``r_t`` of any sender, awake, rx-capable."""
+        mark = self._mark
+        pad = self._nbr_pad
+        if pad is not None:
+            k = senders.size
+            nbrs = self._padbuf[:k]
+            pad.take(senders, axis=0, out=nbrs, mode="clip")
+            mark[nbrs.ravel()] = True
+        else:  # pragma: no cover - dense deployments beyond the gate
+            indptr = self._nbr_indptr
+            cols = self._nbr_cols
+            for v in senders.tolist():
+                mark[cols[indptr[v] : indptr[v + 1]]] = True
+        if self._half_duplex:
+            mark[senders] = False
+        mark_n = self._mark_n
+        if not awake_all:
+            np.logical_and(mark_n, awake_row, out=mark_n)
+        rows = mark_n.nonzero()[0]
+        mark_n[rows] = False  # reset the scratch for the next call
+        return rows
+
+    def stage1(
+        self,
+        senders: np.ndarray,
+        awake_row: np.ndarray,
+        awake_all: bool,
+        cat: _ResolveCat,
+        off: int,
+    ) -> tuple[np.ndarray, int]:
+        """Per-receiver quantities of one run's sender set, staged.
+
+        Computes everything up to (and including) the best-sender gather
+        and writes the per-receiver lanes (total power, best column,
+        best power, best distance) into ``cat[off : off + m]``; the
+        k-independent threshold/compare tail runs over the concatenation
+        of all staged runs in :meth:`finish`.  Returns the candidate
+        ``rows`` and their count ``m``.
+        """
+        rows = self._candidate_rows(senders, awake_row, awake_all)
+        m = rows.size
+        if m == 0:
+            return rows, 0
+        k = senders.size
+        mk = m * k
+        if self._scr1.size < mk:
+            size = max(mk, 2 * self._scr1.size)
+            self._scr1 = np.empty(size)
+            self._scr2 = np.empty(size)
+            self._iscr = np.empty(size, dtype=np.intp)
+        if 2 <= k <= self._gram_kmax:
+            # gather the candidate rows of the verified power table; the
+            # per-call arithmetic already ran, bit-exactly, at table
+            # build time (see ``__init__``).
+            scaled = np.multiply(rows, self._n, out=self._im1[:m])
+            flat2d = self._iscr[:mk].reshape(m, k)
+            np.add(scaled[:, None], senders[None, :], out=flat2d)
+            received = self._scr2[:mk].reshape(m, k)
+            self._rcv_flat.take(flat2d, out=received, mode="clip")
+            if not self._half_duplex:
+                inv = self._inv
+                inv[rows] = self._arange[:m]
+                received[inv.take(senders), self._arange[:k]] = 0.0
+            end = off + m
+            np.add.reduce(received, axis=1, out=cat.total[off:end])
+            best_col = received.argmax(axis=1, out=cat.col[off:end])
+            flat = self._flatbuf[:m]
+            np.multiply(self._arange[:m], k, out=flat)
+            flat += best_col
+            received.ravel().take(flat, out=cat.best[off:end], mode="clip")
+            # best squared distance straight from the distance table:
+            # flat index rows[i] * n + senders[best_col[i]]
+            scaled += senders.take(best_col)
+            self._dsq_flat.take(scaled, out=cat.bdist[off:end], mode="clip")
+            return rows, m
+        dist_sq = self._scr1[:mk].reshape(m, k)  # contiguous (m, k)
+        prod = self._pool.get(k)
+        if prod is None:
+            prod = np.empty((self._n, k))
+            self._pool[k] = prod
+        selected = self._selbuf[:k]
+        self._pos.take(senders, axis=0, out=selected, mode="clip")
+        if _MATMUL_OUT_OK:
+            np.matmul(self._pos, selected.T, out=prod)
+        else:  # pragma: no cover - depends on the BLAS build
+            prod = self._pos @ selected.T
+        prod.take(rows, axis=0, out=dist_sq, mode="clip")
+        dist_sq *= -2.0
+        row_norms = self._sq_norms.take(rows, out=self._fm1[:m], mode="clip")
+        dist_sq += row_norms[:, None]
+        col_norms = self._sq_norms.take(
+            senders, out=self._fk1[:k], mode="clip"
+        )
+        dist_sq += col_norms[None, :]
+        sender_pos = None
+        if not self._half_duplex:
+            # sender rows survive pruning; locate their own columns for
+            # the scalar path's received[senders, arange(k)] = 0 write.
+            inv = self._inv
+            inv[rows] = self._arange[:m]
+            sender_pos = inv.take(senders)
+            if self._skip_floor:
+                # dead entries (zeroed below before sum/argmax); plant a
+                # safe denominator so the power law cannot divide by ~0
+                dist_sq[sender_pos, self._arange[:k]] = self._rt_sq
+        # maximum(dist_sq, 0) dropped: rt_sq > 0 and floor_sq > 0 absorb
+        # a clamped zero identically on every outcome-relevant compare.
+        if self._skip_floor:
+            clamped = dist_sq
+        else:  # pragma: no cover - needs a sub-floor distinct pair
+            clamped = np.maximum(dist_sq, self._floor_sq)
+        received = self._scr2[:mk].reshape(m, k)
+        if self._half == 2.0:
+            np.square(clamped, out=received)
+            np.divide(self._power, received, out=received)
+        elif self._int_half:
+            np.copyto(received, clamped)
+            for _ in range(self._int_half - 1):
+                received *= clamped
+            np.divide(self._power, received, out=received)
+        else:
+            np.power(clamped, -self._half, out=received)
+            received *= self._power
+        if sender_pos is not None:
+            received[sender_pos, self._arange[:k]] = 0.0
+        end = off + m
+        np.add.reduce(received, axis=1, out=cat.total[off:end])
+        best_col = received.argmax(axis=1, out=cat.col[off:end])
+        flat = self._flatbuf[:m]
+        np.multiply(self._arange[:m], k, out=flat)
+        flat += best_col
+        received.ravel().take(flat, out=cat.best[off:end], mode="clip")
+        dist_sq.ravel().take(flat, out=cat.bdist[off:end], mode="clip")
+        return rows, m
+
+    def finish(self, cat: _ResolveCat, off: int) -> np.ndarray:
+        """Threshold + range tail over ``cat[:off]``; kept lane indices.
+
+        Every op here is elementwise over the staged lanes, so running
+        it once over the concatenation of several runs produces the
+        exact bits of the per-run evaluation; ``nonzero`` then yields
+        each run's kept receivers as one ascending slice.
+        """
+        total = cat.total[:off]
+        best_power = cat.best[:off]
+        # beta * (noise + interference), scalar op order (commutes bitwise)
+        thr = np.subtract(total, best_power, out=cat.thr[:off])
+        thr += self._noise
+        thr *= self._beta
+        decodable = np.greater_equal(best_power, thr, out=cat.dec[:off])
+        in_range = np.less_equal(cat.bdist[:off], self._rt_sq, out=cat.rng[:off])
+        receiving = np.logical_and(decodable, in_range, out=decodable)
+        if self._need_pos:  # pragma: no cover - needs beta * noise == 0
+            receiving &= best_power > 0
+        return receiving.nonzero()[0]
+
+    def resolve(
+        self,
+        senders: np.ndarray,
+        awake_row: np.ndarray,
+        awake_all: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(receivers, sender_of_receiver)`` for one run's sender set."""
+        cat = self._cat
+        rows, m = self.stage1(senders, awake_row, awake_all, cat, 0)
+        if m == 0:
+            return self._empty, self._empty
+        kept = self.finish(cat, m)
+        return rows.take(kept), senders.take(cat.col[:m].take(kept))
+
+
+class BatchRun:
+    """Per-run bookkeeping that lives outside the stacked arrays."""
+
+    __slots__ = (
+        "row", "seed", "gens", "geoms", "heap", "pending", "t", "max_slots",
+        "last_wake", "undecided", "tx_count", "delivery_count", "passes",
+        "channel", "slot_hook", "resolver", "observers", "listeners",
+        "recorder", "trace_on", "m_slots", "m_transmissions", "m_deliveries",
+        "queues", "done", "completed", "slots_run", "final_colors",
+        "final_decision_slots",
+    )
+
+    def __init__(
+        self,
+        row: int,
+        seed: int,
+        gens,
+        wake_slots,
+        max_slots: int,
+        last_wake: int,
+        n: int,
+        channel,
+        resolver,
+        observers,
+        listeners,
+        recorder,
+        trace_on: bool,
+        metrics=None,
+    ) -> None:
+        self.row = row
+        self.seed = seed
+        self.gens = gens
+        # bound draw methods, hoisted for the per-transmission loop
+        self.geoms = [g.geometric for g in gens]
+        # The heap mirrors the scalar heap's *slot set*; multiplicities
+        # are unobservable (next_slot collapses equal entries), so the
+        # pending set dedups pushes and keeps the heap small.
+        self.pending = {int(s) for s in wake_slots}
+        self.heap = list(self.pending)
+        heapq.heapify(self.heap)
+        self.t = 0
+        self.max_slots = max_slots
+        self.last_wake = last_wake
+        self.undecided = n
+        self.tx_count = 0
+        self.delivery_count = 0
+        self.passes = 0
+        self.channel = channel  # None on the fast path
+        self.slot_hook = getattr(channel, "begin_slot", None)
+        self.resolver = resolver
+        self.observers = observers
+        self.listeners = listeners
+        self.recorder = recorder
+        self.trace_on = trace_on
+        self.m_slots = None
+        self.m_transmissions = None
+        self.m_deliveries = None
+        if metrics is not None and getattr(metrics, "enabled", True):
+            self.m_slots = metrics.counter("sim.slots")
+            self.m_transmissions = metrics.counter("sim.transmissions")
+            self.m_deliveries = metrics.counter("sim.deliveries")
+        self.queues: dict[int, deque] = {}
+        self.done = False
+        self.completed = False
+        self.slots_run = 0
+        self.final_colors = None
+        self.final_decision_slots = None
+
+    def next_slot(self) -> int | None:
+        """Pop and return the earliest pending event slot (None = drained)."""
+        heap = self.heap
+        if not heap:
+            return None
+        t = heapq.heappop(heap)
+        while heap and heap[0] == t:  # pragma: no cover - dedup safety net
+            heapq.heappop(heap)
+        self.pending.discard(t)
+        return t
+
+
+class BatchEngine:
+    """Drive all runs to completion over one :class:`BatchState`."""
+
+    def __init__(self, state: BatchState, runs: list[BatchRun]) -> None:
+        self.st = state
+        self._runs = runs
+        # Scratch mask buffers: rows only ever shrink (compact), so the
+        # initial (S, n) shape covers every later pass via row slices.
+        shape = state.awake.shape
+        self._mbuf_t = np.empty(shape, dtype=bool)
+        self._mbuf_w = np.empty(shape, dtype=bool)
+        self._mbuf_x = np.empty(shape, dtype=bool)
+        self._max_last_wake = max((r.last_wake for r in runs), default=-1)
+        # Pooled payload-build scratch (one entry per transmitter, so
+        # S * n bounds every pass).  Entries are left unfilled: every
+        # consumer read of a payload field is gated on the matching
+        # pay_kind for the same slot, and _payloads assigns each field
+        # under exactly the masks those gates select, so a lane that was
+        # never assigned this pass is provably never read.
+        cap = shape[0] * shape[1]
+        self._pl_kind = np.empty(cap, dtype=np.int8)
+        self._pl_i = np.empty(cap, dtype=np.int64)
+        self._pl_counter = np.empty(cap, dtype=np.int64)
+        self._pl_leader = np.empty(cap, dtype=np.int64)
+        self._pl_target = np.empty(cap, dtype=np.int64)
+        self._pl_tc = np.empty(cap, dtype=np.int64)
+        # Staged-resolution lanes shared by every fused run of a pass.
+        self._cat = _ResolveCat(cap)
+        # Per-run counters held in row-indexed arrays so the per-pass
+        # bookkeeping is three vector adds; folded back into the run
+        # objects before anything can read them (_finish / _compact).
+        # Only sound when no run can observe counters mid-pass.
+        self._plain_counters = all(
+            not run.observers
+            and (run.m_slots is None or run.resolver is not None)
+            for run in runs
+        )
+        self._any_hook = any(run.slot_hook is not None for run in runs)
+        self._any_trace = any(run.trace_on for run in runs)
+        # shared sentinel when no run traces: every event append is gated
+        # on run.trace_on, so the buffers would stay empty anyway
+        self._no_events: list[list[tuple]] = []
+        # all-awake flags per row; awake bits only ever turn on (_wakes)
+        # and rows only move in _compact — recomputed at both sites
+        self._aw_all = state.awake.all(axis=1).tolist()
+        nruns = len(runs)
+        self._acc_tx = np.zeros(nruns, dtype=np.int64)
+        self._acc_del = np.zeros(nruns, dtype=np.int64)
+        self._acc_pass = np.zeros(nruns, dtype=np.int64)
+
+    # -- main loop ---------------------------------------------------------
+
+    def execute(self) -> None:
+        runs = self._runs
+        while runs:
+            survivors = []
+            for run in runs:
+                t = run.next_slot()
+                if t is None or t >= run.max_slots:
+                    self._finish(run, completed=False)
+                else:
+                    run.t = t
+                    survivors.append(run)
+            if len(survivors) != len(runs):
+                self._compact(survivors)
+                runs = self._runs
+                if not runs:
+                    return
+            self._pass(runs)
+            survivors = []
+            for run in runs:
+                if run.undecided == 0 and run.t >= run.last_wake:
+                    self._finish(run, completed=True)
+                else:
+                    survivors.append(run)
+            if len(survivors) != len(runs):
+                self._compact(survivors)
+            runs = self._runs
+
+    def _fold_counters(self, run: BatchRun) -> None:
+        """Move a run's accumulated pass counters onto the run object."""
+        row = run.row
+        run.tx_count += int(self._acc_tx[row])
+        run.delivery_count += int(self._acc_del[row])
+        run.passes += int(self._acc_pass[row])
+        self._acc_tx[row] = 0
+        self._acc_del[row] = 0
+        self._acc_pass[row] = 0
+
+    def _finish(self, run: BatchRun, completed: bool) -> None:
+        self._fold_counters(run)
+        run.done = True
+        run.completed = completed
+        run.slots_run = run.t + 1 if completed else run.max_slots
+        run.final_colors = self.st.color[run.row].copy()
+        run.final_decision_slots = self.st.color_slot[run.row].copy()
+        if run.resolver is not None and run.m_slots is not None:
+            # fast path (nothing can observe counters mid-run): one
+            # deferred increment per counter, same final totals
+            run.m_slots.inc(run.passes)
+            run.m_transmissions.inc(run.tx_count)
+            run.m_deliveries.inc(run.delivery_count)
+
+    def _compact(self, survivors: list[BatchRun]) -> None:
+        # rows are about to move: settle the row-indexed accumulators
+        for run in survivors:
+            self._fold_counters(run)
+        keep = np.asarray([run.row for run in survivors], dtype=np.intp)
+        self.st.compact(keep)
+        for row, run in enumerate(survivors):
+            run.row = row
+        self._runs = survivors
+        self._max_last_wake = max((r.last_wake for r in survivors), default=-1)
+        self._aw_all = self.st.awake.all(axis=1).tolist()
+
+    # -- one lockstep pass -------------------------------------------------
+
+    def _pass(self, runs: list[BatchRun]) -> None:
+        st = self.st
+        nruns = len(runs)
+        t_arr = np.fromiter((run.t for run in runs), np.int64, nruns)
+        cur = t_arr[:, None]
+
+        if self._any_hook:
+            for run in runs:
+                if run.slot_hook is not None:
+                    run.slot_hook(run.t)
+
+        # Timer mask from pre-wake state: the scalar pops timer events
+        # before dispatching wakes, so a timer armed during on_wake for
+        # the current slot fires only on the replay pass.
+        tmask = np.equal(st.next_timer, cur, out=self._mbuf_t[:nruns])
+        tmask &= st.awake
+
+        # No run can see another wake event once every active run's
+        # clock is past its own last wake slot.
+        if int(t_arr.min()) <= self._max_last_wake:
+            wmask = np.equal(st.wake, cur, out=self._mbuf_w[:nruns])
+            wmask &= ~st.awake
+            if wmask.any():
+                self._wakes(runs, t_arr, wmask)
+
+        if tmask.any():
+            self._timers(runs, t_arr, tmask)
+
+        txmask = np.equal(st.next_tx, cur, out=self._mbuf_x[:nruns])
+        txmask &= st.awake
+        tx_counts = txmask.sum(axis=1)
+        deliveries = None
+        kept_counts = np.zeros(nruns, dtype=np.int64)
+        per_run_objects: dict[int, tuple[list, list]] = {}
+        cums = tx_counts.cumsum()
+        if cums[-1]:
+            # One shared row-major nonzero feeds all three phases;
+            # run s's senders are uu[offs[s]:offs[s + 1]], ascending.
+            ss, uu = np.nonzero(txmask)
+            lin = ss * st.awake.shape[1]
+            lin += uu
+            offs = [0, *cums.tolist()]
+            self._payloads(t_arr, ss, uu, lin)
+            self._resample(runs, ss, uu, lin, offs)
+            deliveries = self._resolve(
+                runs, uu, offs, kept_counts, per_run_objects
+            )
+        if deliveries is not None:
+            self._receive(runs, t_arr, deliveries)
+
+        if self._plain_counters:
+            # same integer totals as the per-run loop below, folded back
+            # into the run objects before any reader (_finish/_compact)
+            self._acc_tx[:nruns] += tx_counts
+            self._acc_del[:nruns] += kept_counts
+            self._acc_pass[:nruns] += 1
+            return
+        tx_list = tx_counts.tolist()
+        kept_list = kept_counts.tolist()
+        for run in runs:
+            row = run.row
+            if run.observers:
+                txs, kept = per_run_objects.get(row, ([], []))
+                for observer in run.observers:
+                    observer.on_slot_end(run.t, txs, kept)
+            ktx = tx_list[row]
+            kdel = kept_list[row]
+            if run.m_slots is not None and run.resolver is None:
+                # slow path: per-pass increments stay observable through
+                # observers / telemetry snapshots
+                run.m_slots.inc()
+                run.m_transmissions.inc(ktx)
+                run.m_deliveries.inc(kdel)
+            run.tx_count += ktx
+            run.delivery_count += kdel
+            run.passes += 1
+
+    # -- phase: wake-ups ---------------------------------------------------
+
+    def _wakes(self, runs, t_arr, wmask) -> None:
+        st = self.st
+        st.awake |= wmask
+        self._aw_all = st.awake.all(axis=1).tolist()
+        ss, uu = np.nonzero(wmask)
+        # _enter_a(0, start_slot=wake slot): listen, rate 0 (already 0),
+        # timer at start + listen_slots - 1 — possibly this very slot.
+        nt = t_arr[ss] + st.listen[ss] - 1
+        st.next_timer[ss, uu] = nt
+        for s, u, slot in zip(ss.tolist(), uu.tolist(), nt.tolist()):
+            run = runs[s]
+            if slot not in run.pending:
+                run.pending.add(slot)
+                heapq.heappush(run.heap, slot)
+            if run.trace_on:
+                run.recorder.record(run.t, u, "enter_A", 0)
+
+    # -- phase: timers -----------------------------------------------------
+
+    def _timers(self, runs, t_arr, tmask) -> None:
+        st = self.st
+        st.next_timer[tmask] = -1
+        # All three sub-masks come from pre-phase state: a node whose
+        # threshold fires enters C below, and must not then also match
+        # the serve-end branch in the same pass.
+        in_a = tmask & (st.state == STATE_A)
+        m_listen = in_a & ~st.compete
+        m_threshold = in_a & st.compete
+        m_serve = tmask & (st.state == STATE_C)
+        events: list[list[tuple]] = (
+            [[] for _ in runs] if self._any_trace else self._no_events
+        )
+        if m_listen.any():
+            self._begin_competition(runs, t_arr, m_listen, events)
+        if m_threshold.any():
+            self._enter_c(runs, t_arr, m_threshold, events)
+        if m_serve.any():
+            self._serve_end(runs, m_serve, events)
+        self._flush(runs, events)
+
+    def _begin_competition(self, runs, t_arr, mask, events) -> None:
+        st = self.st
+        ss, uu = np.nonzero(mask)
+        window = np.where(st.idx[ss, uu] == 0, st.win0[ss], st.winpos[ss])
+        values = st.rec_val[ss, uu, :] + (t_arr[ss, None] - st.rec_slot[ss, uu, :])
+        base = chi_rows(values, st.rec_act[ss, uu, :], window)
+        st.counter_base[ss, uu] = base
+        st.counter_slot[ss, uu] = t_arr[ss]
+        st.compete[ss, uu] = True
+        probs = st.qs[ss]
+        st.rate[ss, uu] = probs
+        threshold = t_arr[ss] + (st.threshold[ss] - base)
+        st.next_timer[ss, uu] = threshold
+        next_tx = np.empty(len(ss), dtype=np.int64)
+        it = zip(ss.tolist(), uu.tolist(), probs.tolist(), threshold.tolist())
+        for j, (s, u, p, thr) in enumerate(it):
+            run = runs[s]
+            pending = run.pending
+            slot = run.t + int(run.gens[u].geometric(p))
+            next_tx[j] = slot
+            if slot not in pending:
+                pending.add(slot)
+                heapq.heappush(run.heap, slot)
+            if thr not in pending:
+                pending.add(thr)
+                heapq.heappush(run.heap, thr)
+            if run.trace_on:
+                events[s].append((u, "compete", int(base[j])))
+        st.next_tx[ss, uu] = next_tx
+
+    def _enter_c(self, runs, t_arr, mask, events) -> None:
+        st = self.st
+        ss, uu = np.nonzero(mask)
+        colors = st.idx[ss, uu]
+        st.state[ss, uu] = STATE_C
+        st.color[ss, uu] = colors
+        st.color_slot[ss, uu] = t_arr[ss]
+        probs = np.where(colors == 0, st.ql[ss], st.qs[ss])
+        st.rate[ss, uu] = probs
+        next_tx = np.empty(len(ss), dtype=np.int64)
+        it = zip(ss.tolist(), uu.tolist(), colors.tolist(), probs.tolist())
+        for j, (s, u, color, p) in enumerate(it):
+            run = runs[s]
+            slot = run.t + int(run.gens[u].geometric(p))
+            next_tx[j] = slot
+            if slot not in run.pending:
+                run.pending.add(slot)
+                heapq.heappush(run.heap, slot)
+            run.undecided -= 1
+            if run.trace_on:
+                events[s].append((u, "enter_C", color))
+            for listener in run.listeners:
+                listener(run.t, u, color)
+        st.next_tx[ss, uu] = next_tx
+
+    def _serve_end(self, runs, mask, events) -> None:
+        st = self.st
+        ss, uu = np.nonzero(mask)
+        for s, u in zip(ss.tolist(), uu.tolist()):
+            st.serving[s, u] = -1
+            queue = runs[s].queues.get(u)
+            if queue:
+                self._start_serving(runs[s], s, u, events)
+
+    def _start_serving(self, run: BatchRun, s: int, u: int, events) -> None:
+        st = self.st
+        requester = run.queues[u].popleft()
+        st.queued[s, requester] = False
+        if st.assigned[s, requester] < 0:
+            st.next_tc[s, u] += 1
+            st.assigned[s, requester] = st.next_tc[s, u]
+        st.serving[s, u] = requester
+        slot = run.t + int(st.serve[s])
+        st.next_timer[s, u] = slot
+        if slot not in run.pending:
+            run.pending.add(slot)
+            heapq.heappush(run.heap, slot)
+        if run.trace_on:
+            events[s].append(
+                (u, "serve", (requester, int(st.assigned[s, requester])))
+            )
+
+    # -- phase: transmissions ----------------------------------------------
+
+    def _payloads(self, t_arr, ss, uu, lin) -> None:
+        """Fill the payload tables for every transmitting (run, node)."""
+        st = self.st
+        states = st.state.ravel().take(lin)
+        idx = st.idx.ravel().take(lin)
+        m = len(ss)
+        # pooled, unfilled: every field is assigned under exactly the
+        # masks whose pay_kind gates its consumers (see __init__)
+        kind = self._pl_kind[:m]
+        pay_i = self._pl_i[:m]
+        counter = self._pl_counter[:m]
+        pay_leader = self._pl_leader[:m]
+        target = self._pl_target[:m]
+        tc = self._pl_tc[:m]
+        in_a = states == STATE_A
+        kind[in_a] = PAY_A
+        pay_i[in_a] = idx[in_a]
+        base = st.counter_base.ravel().take(lin)
+        slot0 = st.counter_slot.ravel().take(lin)
+        counter[in_a] = (base + np.maximum(0, t_arr[ss] - slot0))[in_a]
+        in_r = states == STATE_R
+        kind[in_r] = PAY_R
+        pay_leader[in_r] = st.leader.ravel().take(lin)[in_r]
+        in_c = states == STATE_C
+        holder = in_c & (idx > 0)
+        kind[holder] = PAY_C
+        pay_i[holder] = idx[holder]
+        lead = in_c & (idx == 0)
+        serving = st.serving.ravel().take(lin)
+        grant = lead & (serving >= 0)
+        kind[grant] = PAY_GRANT
+        pay_i[grant] = 0
+        target[grant] = serving[grant]
+        tc[grant] = st.assigned[ss[grant], serving[grant]]
+        plain = lead & (serving < 0)
+        kind[plain] = PAY_C
+        pay_i[plain] = 0
+        # flat scatters through the shared lin index; the state arrays
+        # stay C-contiguous across compaction (axis-0 view slices), so
+        # ravel() is always a view here
+        st.pay_kind.ravel()[lin] = kind
+        st.pay_i.ravel()[lin] = pay_i
+        st.pay_counter.ravel()[lin] = counter
+        st.pay_leader.ravel()[lin] = pay_leader
+        st.pay_target.ravel()[lin] = target
+        st.pay_tc.ravel()[lin] = tc
+
+    def _resample(self, runs, ss, uu, lin, offs) -> None:
+        st = self.st
+        probs = st.rate.ravel().take(lin)
+        plist = probs.tolist()
+        ulist = uu.tolist()
+        push = heapq.heappush
+        slots_out: list[int] = []
+        append = slots_out.append
+        for run in runs:
+            s = run.row
+            lo, hi = offs[s], offs[s + 1]
+            if lo == hi:
+                continue
+            t = run.t
+            heap = run.heap
+            geoms = run.geoms
+            pending = run.pending
+            # same row-major (run, node) order as the scalar engine's
+            # per-transmission draws — RNG consumption order is parity
+            draws = map(geoms.__getitem__, ulist[lo:hi])
+            for g, p in zip(draws, plist[lo:hi]):
+                slot = t + int(g(p))
+                append(slot)
+                if slot not in pending:
+                    pending.add(slot)
+                    push(heap, slot)
+        st.next_tx.ravel()[lin] = slots_out
+
+    def _message(self, s: int, u: int):
+        """The scalar-identical payload object of transmitter ``(s, u)``."""
+        st = self.st
+        kind = int(st.pay_kind[s, u])
+        if kind == PAY_A:
+            return MsgA(
+                i=int(st.pay_i[s, u]), sender=u, counter=int(st.pay_counter[s, u])
+            )
+        if kind == PAY_R:
+            return MsgR(sender=u, leader=int(st.pay_leader[s, u]))
+        if kind == PAY_GRANT:
+            return MsgC(
+                i=0,
+                sender=u,
+                target=int(st.pay_target[s, u]),
+                tc=int(st.pay_tc[s, u]),
+            )
+        return MsgC(i=int(st.pay_i[s, u]), sender=u)
+
+    def _emit_group(self, resolver, staged, off, results, kept_counts):
+        """Finish one fused resolver group and split it per run.
+
+        ``staged`` holds ``(s, rows, senders, off, m)`` for each run
+        whose lanes sit in ``self._cat[:off]``; the group-wide kept
+        indices come back ascending, so each run's kept receivers are
+        the slice between its own lane offsets — bit-identical to the
+        per-run ``nonzero`` the unfused path would take.
+        """
+        if not off:
+            return
+        cat = self._cat
+        kept = resolver.finish(cat, off)
+        if not kept.size:
+            return
+        starts = np.fromiter((e[3] for e in staged), np.intp, len(staged))
+        splits = np.searchsorted(kept, starts).tolist()
+        splits.append(kept.size)
+        col = cat.col
+        for i, (s, rows, senders, o, m) in enumerate(staged):
+            a, b = splits[i], splits[i + 1]
+            if a == b:
+                continue
+            local = kept[a:b] - o if o else kept[a:b]
+            best = col[o : o + m].take(local)
+            results.append((s, rows.take(local), senders.take(best)))
+            kept_counts[s] = b - a
+
+    def _resolve(self, runs, uu, offs, kept_counts, per_run_objects):
+        """Per-run channel resolution; returns concatenated delivery triples."""
+        st = self.st
+        awake = st.awake
+        aw_all = self._aw_all
+        cat = self._cat
+        results: list[tuple[int, np.ndarray, np.ndarray]] = []
+        staged: list[tuple[int, np.ndarray, np.ndarray, int, int]] = []
+        open_res = None
+        off = 0
+        mixed = False
+        for run in runs:
+            s = run.row
+            lo, hi = offs[s], offs[s + 1]
+            if lo == hi:
+                continue
+            senders = uu[lo:hi]
+            res = run.resolver
+            if res is not None:
+                if res is not open_res:
+                    if open_res is not None:
+                        self._emit_group(
+                            open_res, staged, off, results, kept_counts
+                        )
+                        staged.clear()
+                        off = 0
+                    open_res = res
+                rows, m = res.stage1(senders, awake[s], aw_all[s], cat, off)
+                if m:
+                    staged.append((s, rows, senders, off, m))
+                    off += m
+                continue
+            mixed = True
+            txs = [
+                Transmission(sender=u, payload=self._message(s, u))
+                for u in senders.tolist()
+            ]
+            resolved = run.channel.resolve(txs)
+            kept = [d for d in resolved if awake[s, d.receiver]]
+            per_run_objects[s] = (txs, kept)
+            receivers = np.asarray([d.receiver for d in kept], dtype=np.int64)
+            from_senders = np.asarray([d.sender for d in kept], dtype=np.int64)
+            kept_counts[s] = receivers.size
+            if receivers.size:
+                results.append((s, receivers, from_senders))
+        if open_res is not None:
+            self._emit_group(open_res, staged, off, results, kept_counts)
+        if not results:
+            return None
+        if mixed:
+            # fast- and slow-path runs interleave; restore run order so
+            # downstream reception/event ordering matches the unfused path
+            results.sort(key=lambda e: e[0])
+        out_rows = np.fromiter((e[0] for e in results), np.int64, len(results))
+        out_sizes = np.fromiter(
+            (e[1].size for e in results), np.int64, len(results)
+        )
+        return (
+            np.repeat(out_rows, out_sizes),
+            np.concatenate(
+                [e[1].astype(np.int64, copy=False) for e in results]
+            ),
+            np.concatenate(
+                [e[2].astype(np.int64, copy=False) for e in results]
+            ),
+        )
+
+    # -- phase: receptions -------------------------------------------------
+
+    def _receive(self, runs, t_arr, deliveries) -> None:
+        st = self.st
+        ss, uu, vv = deliveries
+        events: list[list[tuple]] = (
+            [[] for _ in runs] if self._any_trace else self._no_events
+        )
+        n = st.awake.shape[1]
+        base = ss * n
+        lin_u = base + uu
+        lin_v = base + vv
+        rx_state = st.state.ravel().take(lin_u)
+        rx_idx = st.idx.ravel().take(lin_u)
+        pk = st.pay_kind.ravel().take(lin_v)
+        pi = st.pay_i.ravel().take(lin_v)
+        in_a = rx_state == STATE_A
+        idx_match = pi == rx_idx
+        c_match = in_a & (pk >= PAY_C) & idx_match
+        m = c_match & (rx_idx == 0)
+        if m.any():
+            self._enter_r(runs, m, ss, uu, vv, events)
+        m = c_match & (rx_idx > 0)
+        if m.any():
+            self._advance_a(runs, t_arr, m, ss, uu, vv, rx_idx + 1, events)
+        m = in_a & (pk == PAY_A) & idx_match
+        if m.any():
+            self._record(runs, t_arr, m, ss, uu, vv, events)
+        in_r = rx_state == STATE_R
+        if in_r.any():
+            m = (
+                in_r
+                & (pk == PAY_GRANT)
+                & (vv == st.leader.ravel().take(lin_u))
+                & (st.pay_target.ravel().take(lin_v) == uu)
+            )
+            if m.any():
+                tc = st.pay_tc.ravel().take(lin_v)
+                st.granted_tc[ss[m], uu[m]] = tc[m]
+                self._advance_a(
+                    runs, t_arr, m, ss, uu, vv, tc * st.spacing[ss], events,
+                    set_leader=False,
+                )
+        lead_rx = (rx_state == STATE_C) & (rx_idx == 0)
+        if lead_rx.any():
+            m = (
+                lead_rx
+                & (pk == PAY_R)
+                & (st.pay_leader.ravel().take(lin_v) == uu)
+                & ~st.queued.ravel().take(lin_v)
+                & (st.serving.ravel().take(lin_u) != vv)
+            )
+            if m.any():
+                it = zip(ss[m].tolist(), uu[m].tolist(), vv[m].tolist())
+                for s, u, v in it:
+                    run = runs[s]
+                    run.queues.setdefault(u, deque()).append(v)
+                    st.queued[s, v] = True
+                    if st.serving[s, u] < 0:
+                        self._start_serving(run, s, u, events)
+        self._flush(runs, events)
+
+    def _enter_r(self, runs, mask, ss, uu, vv, events) -> None:
+        st = self.st
+        sel_s, sel_u, sel_v = ss[mask], uu[mask], vv[mask]
+        st.leader[sel_s, sel_u] = sel_v
+        st.state[sel_s, sel_u] = STATE_R
+        probs = st.qs[sel_s]
+        st.rate[sel_s, sel_u] = probs
+        st.next_timer[sel_s, sel_u] = -1
+        next_tx = np.empty(len(sel_s), dtype=np.int64)
+        it = zip(sel_s.tolist(), sel_u.tolist(), sel_v.tolist(), probs.tolist())
+        for j, (s, u, v, p) in enumerate(it):
+            run = runs[s]
+            slot = run.t + int(run.gens[u].geometric(p))
+            next_tx[j] = slot
+            if slot not in run.pending:
+                run.pending.add(slot)
+                heapq.heappush(run.heap, slot)
+            if run.trace_on:
+                events[s].append((u, "enter_R", v))
+        st.next_tx[sel_s, sel_u] = next_tx
+
+    def _advance_a(
+        self, runs, t_arr, mask, ss, uu, vv, new_idx, events,
+        set_leader: bool = True,
+    ) -> None:
+        """``_enter_a(i, start_slot=slot+1)`` from a reception, vectorised."""
+        st = self.st
+        sel_s, sel_u = ss[mask], uu[mask]
+        idx = new_idx[mask]
+        if set_leader:
+            st.leader[sel_s, sel_u] = vv[mask]
+        st.state[sel_s, sel_u] = STATE_A
+        st.idx[sel_s, sel_u] = idx
+        st.rec_act[sel_s, sel_u, :] = False  # P_v := empty
+        st.compete[sel_s, sel_u] = False
+        st.rate[sel_s, sel_u] = 0.0
+        st.next_tx[sel_s, sel_u] = -1
+        # (slot + 1) + listen_slots - 1
+        nt = t_arr[sel_s] + st.listen[sel_s]
+        st.next_timer[sel_s, sel_u] = nt
+        it = zip(sel_s.tolist(), sel_u.tolist(), idx.tolist(), nt.tolist())
+        for s, u, i, slot in it:
+            run = runs[s]
+            if slot not in run.pending:
+                run.pending.add(slot)
+                heapq.heappush(run.heap, slot)
+            if run.trace_on:
+                events[s].append((u, "enter_A", i))
+
+    def _record(self, runs, t_arr, mask, ss, uu, vv, events) -> None:
+        """Track a competitor's counter; reset on a window hit (Fig. 1 l. 13-15)."""
+        st = self.st
+        sel_s, sel_u, sel_v = ss[mask], uu[mask], vv[mask]
+        heard = st.pay_counter[sel_s, sel_v]
+        st.rec_val[sel_s, sel_u, sel_v] = heard
+        st.rec_slot[sel_s, sel_u, sel_v] = t_arr[sel_s]
+        st.rec_act[sel_s, sel_u, sel_v] = True
+        idx = st.idx[sel_s, sel_u]
+        window = np.where(idx == 0, st.win0[sel_s], st.winpos[sel_s])
+        counter = st.counter_base[sel_s, sel_u] + np.maximum(
+            0, t_arr[sel_s] - st.counter_slot[sel_s, sel_u]
+        )
+        reset = st.compete[sel_s, sel_u] & (np.abs(counter - heard) <= window)
+        if not reset.any():
+            return
+        rs, ru = sel_s[reset], sel_u[reset]
+        values = st.rec_val[rs, ru, :] + (t_arr[rs, None] - st.rec_slot[rs, ru, :])
+        base = chi_rows(values, st.rec_act[rs, ru, :], window[reset])
+        st.counter_base[rs, ru] = base
+        st.counter_slot[rs, ru] = t_arr[rs]
+        threshold = t_arr[rs] + (st.threshold[rs] - base)
+        st.next_timer[rs, ru] = threshold
+        it = zip(rs.tolist(), ru.tolist(), base.tolist(), threshold.tolist())
+        for s, u, b, thr in it:
+            run = runs[s]
+            if thr not in run.pending:
+                run.pending.add(thr)
+                heapq.heappush(run.heap, thr)
+            if run.trace_on:
+                events[s].append((u, "reset", b))
+
+    # -- trace-order reconstruction ----------------------------------------
+
+    def _flush(self, runs, events) -> None:
+        """Emit buffered trace events in scalar order (node-ascending).
+
+        Within the scalar timer and reception phases, nodes are handled
+        in ascending order and each produces at most one trace event, so
+        sorting a phase's buffer by node reproduces the scalar sequence.
+        """
+        for s, buffered in enumerate(events):
+            if not buffered:
+                continue
+            run = runs[s]
+            buffered.sort(key=lambda item: item[0])
+            for node, kind, detail in buffered:
+                run.recorder.record(run.t, node, kind, detail)

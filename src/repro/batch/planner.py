@@ -1,0 +1,114 @@
+"""Batch planning: per-run RNG streams and batchable-unit grouping.
+
+Two planning concerns live here, deliberately *outside* the hot engine
+loop:
+
+* **RNG streams.**  Bit-parity with the scalar path requires every run in
+  a batch to consume exactly the per-node generators the scalar
+  :class:`~repro.simulation.event_sim.EventSimulator` would have built —
+  ``spawn_generators(seed, n)`` per run, one child stream per node.
+  :func:`derive_streams` is the batch subsystem's only sanctioned
+  construction site; the ``BAT001`` lint rule (docs/STATIC_ANALYSIS.md)
+  rejects generator construction anywhere else under ``repro.batch`` so
+  streams can never be silently re-derived (and thus re-wound) inside a
+  hot loop.
+
+* **Batchable groups.**  :func:`~repro.analysis.sweep.enumerate_combos`
+  yields the seed loop innermost, so units of one configuration that
+  differ only in ``seed`` are *contiguous* in every canonical unit list.
+  :func:`batch_groups` folds such a stretch into one group the shard
+  worker can hand to an experiment's batched entry point, while keeping
+  the unit list — and therefore the orchestration config hash and the
+  resume store layout — byte-identical to the serial plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..simulation.rng import spawn_generators
+
+__all__ = ["BatchGroup", "batch_groups", "derive_streams"]
+
+
+def derive_streams(
+    seeds: Sequence[int], n: int
+) -> list[list[np.random.Generator]]:
+    """Per-run, per-node generators: ``streams[r][v]`` for run ``r``, node ``v``.
+
+    Each run's list is exactly ``spawn_generators(seeds[r], n)`` — the
+    same spawn the scalar simulator performs — so a batched run and its
+    scalar twin draw from bit-identical streams.
+    """
+    return [spawn_generators(int(seed), n) for seed in seeds]
+
+
+@dataclass(frozen=True)
+class BatchGroup:
+    """A maximal contiguous stretch of units executable as one batch.
+
+    ``batched_func`` is the experiment's batched entry point (None when
+    the stretch must run unit by unit), ``start`` the global index of the
+    first unit, and ``units`` the stretch itself, verbatim.
+    """
+
+    batched_func: str | None
+    start: int
+    units: tuple
+
+    @property
+    def seeds(self) -> list[int]:
+        """The per-unit seeds, in unit order."""
+        return [unit["kwargs"]["seed"] for unit in self.units]
+
+    @property
+    def shared_kwargs(self) -> dict:
+        """The kwargs common to every unit (everything but ``seed``)."""
+        kwargs = dict(self.units[0]["kwargs"])
+        kwargs.pop("seed", None)
+        return kwargs
+
+
+def _batch_key(unit: dict) -> tuple | None:
+    """Grouping key: function plus all kwargs except ``seed`` (None = ungroupable)."""
+    kwargs = unit.get("kwargs", {})
+    if "seed" not in kwargs:
+        return None
+    rest = tuple(sorted((k, repr(v)) for k, v in kwargs.items() if k != "seed"))
+    return (unit["func"], rest)
+
+
+def batch_groups(
+    units: Sequence[dict], batched: Mapping[str, str]
+) -> list[BatchGroup]:
+    """Fold ``units`` into maximal batchable groups, preserving order.
+
+    ``batched`` maps a unit function name to the experiment's batched
+    entry point (its ``BATCHED_UNITS`` table).  Consecutive units with
+    the same function and identical kwargs apart from ``seed`` form one
+    group; everything else becomes single-unit groups with
+    ``batched_func=None``.  Concatenating the groups' units reproduces
+    ``units`` exactly — grouping never reorders or rewrites the plan.
+    """
+    groups: list[BatchGroup] = []
+    index = 0
+    total = len(units)
+    while index < total:
+        unit = units[index]
+        name = unit.get("func")
+        key = _batch_key(unit)
+        if name not in batched or key is None:
+            groups.append(BatchGroup(None, index, (unit,)))
+            index += 1
+            continue
+        stop = index + 1
+        while stop < total and _batch_key(units[stop]) == key:
+            stop += 1
+        groups.append(
+            BatchGroup(batched[name], index, tuple(units[index:stop]))
+        )
+        index = stop
+    return groups

@@ -1,0 +1,337 @@
+"""`run_mw_coloring_batched`: S scalar-identical MW runs as one computation.
+
+The batched runner mirrors :func:`~repro.coloring.runner.run_mw_coloring`
+run for run — same wiring, same defaults, same
+:class:`~repro.coloring.result.MWColoringResult` per seed — but executes
+all runs in lockstep through :class:`~repro.batch.engine.BatchEngine`.
+Bit parity with the scalar path is the contract: for every seed,
+``run_mw_coloring_batched([seed], ...)[0]`` and a batched run of the same
+seed at any batch size are bit-identical to ``run_mw_coloring(...,
+seed=seed)`` in colors, decision slots, traces, run stats, fault events
+and telemetry counters (locked by ``tests/batch/``).
+
+Per-run arguments
+-----------------
+
+``deployment``, ``constants``, ``schedule``, ``channel``, ``faults`` and
+``telemetry`` accept either a single value (shared semantics, applied to
+every run exactly as the scalar runner would) or a list/tuple with one
+entry per seed.  ``observers`` and ``decision_listeners`` accept a flat
+sequence (the *same* objects attached to every run — note that a shared
+observer then sees the runs' slots interleaved) or a sequence of per-run
+sequences.  A single :class:`~repro.telemetry.Telemetry` bundle is only
+accepted for a batch of one: metric registries are per-run state, so
+larger batches must pass one bundle (or None) per run.
+
+Two scalar features are intentionally out of scope: the slot profiler of
+a telemetry bundle is not fed (wall-time attribution is meaningless for
+stacked runs; all counters and traces are still exact), and the
+``audit_independence`` variant — attach an auditor's ``on_decision`` as
+a per-run decision listener instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import require_int
+from ..errors import ConfigurationError, SimulationError
+from ..geometry.deployment import Deployment
+from ..graphs.coloring import Coloring
+from ..graphs.udg import UnitDiskGraph
+from ..faults.channel import FaultyChannel
+from ..faults.plan import FaultPlan
+from ..sinr.channel import Channel
+from ..sinr.params import PhysicalParams
+from ..simulation.scheduler import WakeupSchedule
+from ..simulation.simulator import RunStats
+from ..simulation.trace import SlotObserver, TraceRecorder
+from ..telemetry import Telemetry
+from ..coloring.constants import AlgorithmConstants
+from ..coloring.result import MWColoringResult
+from ..coloring.runner import build_constants, default_max_slots, make_channel
+from .engine import BatchEngine, BatchRun, _FastSinr
+from .planner import derive_streams
+from .state import BatchState
+
+__all__ = ["run_mw_coloring_batched"]
+
+
+def _per_run(value, count: int, name: str) -> list:
+    """Expand a shared-or-per-run argument to one entry per seed."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != count:
+            raise ConfigurationError(
+                f"{name} must have one entry per seed "
+                f"({count}), got {len(value)}"
+            )
+        return list(value)
+    return [value] * count
+
+
+def _per_run_nested(value, count: int, name: str) -> list[list]:
+    """Expand flat (shared) or nested (per-run) callable sequences."""
+    items = list(value)
+    if items and all(isinstance(item, (list, tuple)) for item in items):
+        if len(items) != count:
+            raise ConfigurationError(
+                f"per-run {name} must have one sequence per seed "
+                f"({count}), got {len(items)}"
+            )
+        return [list(item) for item in items]
+    return [list(items) for _ in range(count)]
+
+
+def run_mw_coloring_batched(
+    seeds: Sequence[int],
+    deployment,
+    params: PhysicalParams | None = None,
+    *,
+    constants: AlgorithmConstants | Sequence | None = None,
+    preset: str = "practical",
+    schedule: WakeupSchedule | Sequence | None = None,
+    channel: str | Channel | Sequence = "sinr",
+    max_slots: int | None = None,
+    trace: bool = False,
+    observers: Sequence[SlotObserver] | Sequence[Sequence[SlotObserver]] = (),
+    decision_listeners: Sequence[Callable] | Sequence[Sequence[Callable]] = (),
+    half_duplex: bool = True,
+    telemetry: Telemetry | Sequence | None = None,
+    faults: FaultPlan | Sequence | None = None,
+) -> list[MWColoringResult]:
+    """Run one MW coloring per seed, stacked into a single batched execution.
+
+    Every argument keeps its :func:`~repro.coloring.runner.run_mw_coloring`
+    meaning; see the module docstring for which accept per-run lists.
+    Returns one result per seed, in seed order, each bit-identical to the
+    scalar run of that seed.
+    """
+    seeds = [int(seed) for seed in seeds]
+    for seed in seeds:
+        require_int("seed", seed)
+    batch = len(seeds)
+    if batch == 0:
+        return []
+    if params is None:
+        params = PhysicalParams().with_r_t(1.0)
+
+    deployments = _per_run(deployment, batch, "deployment")
+    constants_list = _per_run(constants, batch, "constants")
+    schedules = _per_run(schedule, batch, "schedule")
+    channels = _per_run(channel, batch, "channel")
+    plans = _per_run(faults, batch, "faults")
+    observer_lists = _per_run_nested(observers, batch, "observers")
+    listener_lists = _per_run_nested(decision_listeners, batch, "decision_listeners")
+
+    if isinstance(telemetry, (list, tuple)):
+        telemetries = _per_run(list(telemetry), batch, "telemetry")
+    elif telemetry is not None and batch > 1:
+        raise ConfigurationError(
+            "a single Telemetry bundle cannot be shared across a batch; "
+            "pass one bundle (or None) per seed"
+        )
+    else:
+        telemetries = [telemetry] * batch
+
+    shared_prebuilt = isinstance(channel, Channel)
+    if shared_prebuilt and batch > 1 and any(t is not None for t in telemetries):
+        raise ConfigurationError(
+            "telemetry cannot attach to one Channel instance shared by a "
+            "batch; pass per-run channel instances or a channel kind"
+        )
+
+    # Shared structure caches, keyed by the deployment object: runs on the
+    # same deployment share the graph, derived constants, the clean base
+    # channel and the fast resolver (all read-only during execution).
+    graphs: dict[int, UnitDiskGraph] = {}
+    built_constants: dict[int, AlgorithmConstants] = {}
+    base_channels: dict[tuple[int, str], Channel] = {}
+    resolvers: dict[int, _FastSinr] = {}
+
+    run_graphs: list[UnitDiskGraph] = []
+    n = -1
+    for dep in deployments:
+        key = id(dep)
+        graph = graphs.get(key)
+        if graph is None:
+            positions = dep.positions if isinstance(dep, Deployment) else dep
+            graph = UnitDiskGraph(positions, params.r_t)
+            graphs[key] = graph
+        if graph.n == 0:
+            raise ConfigurationError("cannot color an empty deployment")
+        if n < 0:
+            n = graph.n
+        elif graph.n != n:
+            raise ConfigurationError(
+                f"all deployments in a batch must have the same n "
+                f"(got {n} and {graph.n})"
+            )
+        run_graphs.append(graph)
+
+    for index, value in enumerate(constants_list):
+        if value is None:
+            key = id(deployments[index])
+            value = built_constants.get(key)
+            if value is None:
+                value = build_constants(preset, run_graphs[index], params, n)
+                built_constants[key] = value
+            constants_list[index] = value
+        if constants_list[index].n != n:
+            raise ConfigurationError(
+                f"constants tuned for n={constants_list[index].n} "
+                f"but deployment has n={n}"
+            )
+
+    streams = derive_streams(seeds, n)
+    state = BatchState(batch, n)
+    runs: list[BatchRun] = []
+    fault_channels: list[FaultyChannel | None] = []
+    recorders: list[TraceRecorder] = []
+
+    for index, seed in enumerate(seeds):
+        graph = run_graphs[index]
+        constants_r = constants_list[index]
+        telemetry_r = telemetries[index]
+        plan = plans[index]
+        if plan is not None and not isinstance(plan, FaultPlan):
+            raise ConfigurationError(f"faults must be a FaultPlan, got {plan!r}")
+        spec = channels[index]
+        prebuilt = isinstance(spec, Channel)
+
+        fast = (
+            not prebuilt
+            and spec == "sinr"
+            and plan is None
+            and telemetry_r is None
+            and not observer_lists[index]
+        )
+        resolver = None
+        channel_obj = None
+        fault_channel = None
+        if fast:
+            resolver = resolvers.get(id(deployments[index]))
+            if resolver is None:
+                resolver = _FastSinr(graph.positions, params, half_duplex)
+                resolvers[id(deployments[index])] = resolver
+        else:
+            if prebuilt:
+                channel_obj = spec
+            elif telemetry_r is not None:
+                # Telemetry counters are per-run state: give the run a
+                # private channel stack so nothing aliases across rows.
+                channel_obj = make_channel(spec, graph.positions, params, half_duplex)
+            else:
+                key = (id(deployments[index]), spec)
+                channel_obj = base_channels.get(key)
+                if channel_obj is None:
+                    channel_obj = make_channel(
+                        spec, graph.positions, params, half_duplex
+                    )
+                    base_channels[key] = channel_obj
+            if plan is not None:
+                fault_channel = FaultyChannel(channel_obj, plan, seed=seed)
+                channel_obj = fault_channel
+            if telemetry_r is not None:
+                telemetry_r.attach_channel(channel_obj)
+        fault_channels.append(fault_channel)
+
+        schedule_r = schedules[index]
+        if schedule_r is None:
+            if plan is not None and plan.wakeup is not None:
+                schedule_r = plan.wakeup.schedule(n, seed)
+            else:
+                schedule_r = WakeupSchedule.synchronous(n)
+        if len(schedule_r) != n:
+            raise SimulationError(
+                f"wake-up schedule covers {len(schedule_r)} nodes, "
+                f"deployment has {n}"
+            )
+
+        trace_r = trace or (telemetry_r is not None and telemetry_r.trace)
+        recorder = TraceRecorder(enabled=trace_r)
+        recorders.append(recorder)
+        listeners = list(listener_lists[index])
+        if telemetry_r is not None and telemetry_r.metrics.enabled:
+            decisions = telemetry_r.metrics.counter("coloring.decisions")
+            decision_slot = telemetry_r.metrics.histogram("coloring.decision_slot")
+            max_color = telemetry_r.metrics.gauge("coloring.max_color")
+
+            def observe_decision(
+                slot: int, node: int, color: int,
+                _d=decisions, _h=decision_slot, _g=max_color,
+            ) -> None:
+                _d.inc()
+                _h.observe(slot)
+                _g.set_max(color)
+
+            listeners.append(observe_decision)
+
+        budget = max_slots if max_slots is not None else default_max_slots(constants_r)
+        require_int("max_slots", budget, minimum=1)
+
+        state.wake[index] = schedule_r.wake_slots
+        state.listen[index] = constants_r.listen_slots
+        state.threshold[index] = constants_r.counter_threshold
+        state.win0[index] = constants_r.reset_window(0)
+        state.winpos[index] = constants_r.reset_window(1)
+        state.serve[index] = constants_r.serve_slots
+        state.spacing[index] = constants_r.state_spacing
+        state.qs[index] = constants_r.q_s
+        state.ql[index] = constants_r.q_l
+
+        runs.append(
+            BatchRun(
+                row=index,
+                seed=seed,
+                gens=streams[index],
+                wake_slots=schedule_r.wake_slots,
+                max_slots=budget,
+                last_wake=schedule_r.last_wake,
+                n=n,
+                channel=channel_obj,
+                resolver=resolver,
+                observers=tuple(observer_lists[index]),
+                listeners=tuple(listeners),
+                recorder=recorder,
+                trace_on=trace_r,
+                metrics=telemetry_r.metrics if telemetry_r is not None else None,
+            )
+        )
+
+    BatchEngine(state, list(runs)).execute()
+
+    results: list[MWColoringResult] = []
+    for index, run in enumerate(runs):
+        colors = run.final_colors
+        decision_slots = run.final_decision_slots
+        reported = colors.copy()
+        if (reported < 0).any():
+            sentinel = (reported.max(initial=0)) + 1
+            reported[reported < 0] = sentinel
+        stats = RunStats(
+            slots_run=run.slots_run,
+            completed=run.completed,
+            decided_count=n - run.undecided,
+            transmissions=run.tx_count,
+            deliveries=run.delivery_count,
+        )
+        fault_channel = fault_channels[index]
+        result = MWColoringResult(
+            graph=run_graphs[index],
+            coloring=Coloring(reported),
+            leaders=np.flatnonzero(colors == 0),
+            decision_slots=decision_slots,
+            stats=stats,
+            constants=constants_list[index],
+            trace=recorders[index],
+            fault_events=(
+                fault_channel.events.as_dict() if fault_channel is not None else None
+            ),
+        )
+        telemetry_r = telemetries[index]
+        if telemetry_r is not None and telemetry_r.out is not None:
+            telemetry_r.export_coloring(result)
+        results.append(result)
+    return results

@@ -1,0 +1,168 @@
+"""Stacked per-run state arrays for the batched MW execution core.
+
+:class:`BatchState` holds the dynamic state of ``S`` independent MW runs
+as ``(S, n)`` arrays (plus the ``(S, n, n)`` competitor-record tensors),
+one row per *active* run.  Rows of finished runs are physically removed
+by :meth:`BatchState.compact` so converged runs stop consuming work —
+the tentpole's early-exit masking.
+
+Every field is the array form of one attribute of
+:class:`~repro.coloring.mw_node.MWColoringNode` or of the scalar
+:class:`~repro.simulation.event_sim.EventSimulator`; ``-1`` encodes the
+scalar ``None`` throughout.  :func:`chi_rows` is the row-vectorised twin
+of :func:`~repro.coloring.mw_node.chi`, exact in integer semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProtocolError
+
+__all__ = ["BatchState", "chi_rows", "STATE_A", "STATE_R", "STATE_C"]
+
+# Integer state-class codes (the scalar node uses "A"/"R"/"C" strings).
+STATE_A = 0
+STATE_R = 1
+STATE_C = 2
+
+# Payload-kind codes for the per-slot payload arrays.
+PAY_A = 0  # MsgA(i, sender, counter)
+PAY_R = 1  # MsgR(sender, leader)
+PAY_C = 2  # MsgC(i, sender) — plain announcement
+PAY_GRANT = 3  # MsgC(0, sender, target, tc) — targeted grant
+
+_INT_MAX = np.iinfo(np.int64).max
+
+
+def chi_rows(
+    values: np.ndarray, active: np.ndarray, window: np.ndarray
+) -> np.ndarray:
+    """Row-wise ``chi(P_v)`` (Fig. 1 line 6) over stacked record rows.
+
+    ``values[r]`` holds row ``r``'s lazily-advanced competitor counters,
+    ``active[r]`` which entries exist in ``P_v``, ``window[r]`` the reset
+    window.  Each row independently follows the scalar iteration —
+    candidate starts at 0, and while any active interval
+    ``[d - window, d + window]`` contains it, jumps to ``min(blocking
+    lows) - 1`` — so the result is integer-exact per row.
+    """
+    if values.size == 0:
+        return np.zeros(len(values), dtype=np.int64)
+    if (window < 0).any():
+        raise ProtocolError("reset window must be >= 0")
+    low = values - window[:, None]
+    high = values + window[:, None]
+    candidate = np.zeros(len(values), dtype=np.int64)
+    # Same termination argument as the scalar chi, applied per row: each
+    # pass either frees a row or jumps it below one of its intervals.
+    # Rows are independent, and a row that is unblocked once stays
+    # unblocked (its candidate never changes again), so each iteration
+    # narrows to the still-blocked subset instead of rescanning all rows.
+    idx: np.ndarray | None = None
+    lo_s, hi_s, act_s = low, high, active
+    for _ in range(values.shape[1] + 1):
+        cand = candidate if idx is None else candidate[idx]
+        cand_col = cand[:, None]
+        blocking = act_s & (lo_s <= cand_col) & (cand_col <= hi_s)
+        sub = blocking.any(axis=1).nonzero()[0]
+        if sub.size == 0:
+            return candidate
+        lows = np.where(blocking[sub], lo_s[sub], _INT_MAX)
+        idx = sub if idx is None else idx[sub]
+        candidate[idx] = lows.min(axis=1) - 1
+        lo_s, hi_s, act_s = lo_s[sub], hi_s[sub], act_s[sub]
+    cand_col = candidate[idx][:, None]
+    if (act_s & (lo_s <= cand_col) & (cand_col <= hi_s)).any():
+        raise ProtocolError("chi computation failed to converge")  # pragma: no cover
+    return candidate
+
+
+class BatchState:
+    """The stacked dynamic state of all active runs (one row per run)."""
+
+    # Every per-run array, compacted together when runs finish.  The
+    # (S,) entries carry per-run constants so rows stay self-contained.
+    _ROW_ARRAYS = (
+        "awake", "state", "idx", "compete",
+        "counter_base", "counter_slot",
+        "leader", "granted_tc", "color", "color_slot",
+        "rate", "next_tx", "next_timer",
+        "queued", "serving", "assigned", "next_tc",
+        "pay_kind", "pay_i", "pay_counter", "pay_leader",
+        "pay_target", "pay_tc",
+        "wake", "rec_val", "rec_slot", "rec_act",
+        "listen", "threshold", "win0", "winpos",
+        "serve", "spacing", "qs", "ql",
+    )
+
+    def __init__(self, batch: int, n: int) -> None:
+        self.n = n
+        shape = (batch, n)
+        self.awake = np.zeros(shape, dtype=bool)
+        self.state = np.full(shape, STATE_A, dtype=np.int8)
+        self.idx = np.zeros(shape, dtype=np.int64)
+        self.compete = np.zeros(shape, dtype=bool)  # False = listening
+        self.counter_base = np.zeros(shape, dtype=np.int64)
+        self.counter_slot = np.zeros(shape, dtype=np.int64)
+        self.leader = np.full(shape, -1, dtype=np.int64)
+        self.granted_tc = np.full(shape, -1, dtype=np.int64)
+        self.color = np.full(shape, -1, dtype=np.int64)
+        self.color_slot = np.full(shape, -1, dtype=np.int64)
+        self.rate = np.zeros(shape, dtype=np.float64)
+        self.next_tx = np.full(shape, -1, dtype=np.int64)
+        self.next_timer = np.full(shape, -1, dtype=np.int64)
+        # Leader-side bookkeeping, flattened over requesters: queued[s, v]
+        # means v sits in the queue of *its* leader (a node requests only
+        # one leader at a time), assigned[s, v] the tc that leader gave v.
+        self.queued = np.zeros(shape, dtype=bool)
+        self.serving = np.full(shape, -1, dtype=np.int64)
+        self.assigned = np.full(shape, -1, dtype=np.int64)
+        self.next_tc = np.zeros(shape, dtype=np.int64)
+        # This slot's transmission payloads, valid where next_tx == slot.
+        self.pay_kind = np.full(shape, -1, dtype=np.int8)
+        self.pay_i = np.zeros(shape, dtype=np.int64)
+        self.pay_counter = np.zeros(shape, dtype=np.int64)
+        self.pay_leader = np.full(shape, -1, dtype=np.int64)
+        self.pay_target = np.full(shape, -1, dtype=np.int64)
+        self.pay_tc = np.full(shape, -1, dtype=np.int64)
+        self.wake = np.zeros(shape, dtype=np.int64)
+        # Competitor records P_v: (value, record slot, present) per
+        # (run, node, competitor) — the (S, n, n) record tensors.
+        self.rec_val = np.zeros((batch, n, n), dtype=np.int64)
+        self.rec_slot = np.zeros((batch, n, n), dtype=np.int64)
+        self.rec_act = np.zeros((batch, n, n), dtype=bool)
+        # Per-run algorithm constants (rows align with the state arrays).
+        self.listen = np.zeros(batch, dtype=np.int64)
+        self.threshold = np.zeros(batch, dtype=np.int64)
+        self.win0 = np.zeros(batch, dtype=np.int64)
+        self.winpos = np.zeros(batch, dtype=np.int64)
+        self.serve = np.zeros(batch, dtype=np.int64)
+        self.spacing = np.zeros(batch, dtype=np.int64)
+        self.qs = np.zeros(batch, dtype=np.float64)
+        self.ql = np.zeros(batch, dtype=np.float64)
+
+    @property
+    def batch(self) -> int:
+        """Number of active (non-compacted) runs."""
+        return len(self.awake)
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop all rows not in ``keep``.
+
+        ``keep`` is ascending, so ``keep[dst] >= dst`` and surviving
+        rows can be moved down in place (ascending ``dst`` never
+        overwrites a still-unmoved source row); the arrays then shrink
+        to views — no reallocation, and rows already in place are not
+        touched.  The (S, n, n) record tensors keep their allocation,
+        which is fine: active-row count only ever decreases.
+        """
+        m = len(keep)
+        moves = [
+            (dst, src) for dst, src in enumerate(keep.tolist()) if dst != src
+        ]
+        for name in self._ROW_ARRAYS:
+            arr = getattr(self, name)
+            for dst, src in moves:
+                arr[dst] = arr[src]
+            setattr(self, name, arr[:m])

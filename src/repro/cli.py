@@ -314,6 +314,7 @@ def _run_orchestrated(args: argparse.Namespace) -> int:
         progress=lambda message: print(message, file=sys.stderr),
         install_sigint=True,
         faults=plan,
+        batch=getattr(args, "batch", False),
     )
     if result.interrupted:
         print("sweep interrupted; finish it with --resume", file=sys.stderr)
@@ -603,6 +604,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument(
         "--retries", type=int, default=1, metavar="N",
         help="extra attempts per failed shard before recording the failure",
+    )
+    sweep_cmd.add_argument(
+        "--batch", action="store_true",
+        help=(
+            "fold seed-contiguous units into batched runs where the "
+            "experiment supports it (bit-identical rows; pair with "
+            "--shard-size spanning several seeds)"
+        ),
     )
     _add_faults_args(sweep_cmd)
     _add_telemetry_args(sweep_cmd)

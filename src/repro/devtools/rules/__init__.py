@@ -7,6 +7,15 @@ The catalogue with per-rule rationale lives in docs/STATIC_ANALYSIS.md.
 
 from __future__ import annotations
 
-from . import contracts, determinism, errors, faults, rng, style, telemetry
+from . import batch, contracts, determinism, errors, faults, rng, style, telemetry
 
-__all__ = ["contracts", "determinism", "errors", "faults", "rng", "style", "telemetry"]
+__all__ = [
+    "batch",
+    "contracts",
+    "determinism",
+    "errors",
+    "faults",
+    "rng",
+    "style",
+    "telemetry",
+]

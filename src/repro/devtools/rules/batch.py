@@ -1,0 +1,62 @@
+"""Batched-execution rules (BAT0xx).
+
+The batch subsystem's bit-parity contract hinges on RNG stream
+discipline: every run's per-node generators are derived once, up front,
+by the batch planner (``repro/batch/planner.py`` —
+``derive_streams``, the subsystem's single sanctioned construction
+site).  A generator constructed anywhere else under ``batch/`` — in the
+engine's hot loop, in the runner's wiring — would silently re-derive
+(and therefore rewind) a stream mid-run, breaking scalar parity in a way
+no type checker can see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..framework import FileContext, Rule, rule
+
+__all__ = ["BatchStreamsFromPlanner"]
+
+#: Stream-construction entry points that may only appear in the planner.
+_STREAM_BUILDERS = frozenset(
+    {"rng_from_seed", "spawn_generators", "default_rng", "SeedSequence"}
+)
+
+
+@rule
+class BatchStreamsFromPlanner(Rule):
+    code = "BAT001"
+    name = "batch RNG streams come from the planner"
+    rationale = (
+        "the batch subsystem must consume per-run generator streams "
+        "derived once by batch/planner.py (derive_streams); constructing "
+        "a generator inside the batch engine or runner re-derives — and "
+        "rewinds — a stream mid-run, silently breaking scalar bit parity"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.within("batch"):
+            return
+        if ctx.is_file("planner.py", under="batch"):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            called = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if called in _STREAM_BUILDERS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{called}()` under batch/ outside planner.py; "
+                    + self.rationale,
+                )

@@ -161,6 +161,7 @@ def run_sharded(
     install_sigint: bool = False,
     module: str | None = None,
     faults: FaultPlan | dict | None = None,
+    batch: bool = False,
 ) -> SweepResult:
     """Run one experiment's sweep as parallel shards; see module docstring.
 
@@ -175,6 +176,13 @@ def run_sharded(
     (validated, canonicalised, and therefore folded into the config hash
     — a resumed sweep with a different plan is a different run).  An
     experiment whose ``units()`` does not accept ``faults`` raises.
+
+    ``batch`` lets workers fold seed-contiguous units into one batched
+    call where the experiment opts in via ``BATCHED_UNITS`` (see
+    :mod:`repro.batch`).  Rows are bit-identical either way, and the unit
+    list, config hash and store layout are untouched — a serial sweep can
+    be resumed batched and vice versa.  Batching pays off when
+    ``shard_size`` spans several seeds of one configuration.
 
     Returns a :class:`SweepResult`; raises nothing on shard failures or
     interrupts — inspect ``failures`` / ``interrupted`` instead.
@@ -260,6 +268,7 @@ def run_sharded(
             "start": shard.start,
             "units": list(shard.units),
             "timeout_s": timeout_s,
+            "batch": batch,
         }
         if store is not None:
             payload["telemetry_path"] = str(

@@ -1,0 +1,1 @@
+"""Batched-execution test suite (parity, properties, aliasing)."""

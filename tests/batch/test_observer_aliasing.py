@@ -1,0 +1,184 @@
+"""Aliasing audit: observers, trace recorders and auditors across a batch.
+
+The audit of the three observer-side classes against batched execution:
+
+* :class:`~repro.simulation.trace.TraceRecorder` — per-run mutable event
+  list.  The batched runner constructs one private recorder per run, so
+  traces can never interleave; locked here.
+* :class:`~repro.simulation.trace.SlotObserver` implementations — the
+  runner supports per-run observer lists (each object sees exactly its
+  run, scalar-identical) and flat shared lists (one object attached to
+  every run, which then sees the runs interleaved — by design, and
+  losslessly).  Both contracts are locked here.
+* :class:`~repro.invariants.IndependenceAuditor` — accumulates
+  ``_members`` across calls, so one instance must audit exactly one run;
+  attached per-run it reproduces the scalar audit bit for bit.  (Sharing
+  one auditor across runs would merge distinct colorings into one
+  membership table and fabricate violations — the runner docstring
+  directs users to per-run attachment.)
+
+And the converse direction of the audit: observers and listeners are
+write-only taps — attaching them must not perturb the runs they watch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import run_mw_coloring_batched
+from repro.coloring.runner import run_mw_coloring, run_mw_coloring_audited
+from repro.geometry.deployment import uniform_deployment
+from repro.invariants import IndependenceAuditor
+from repro.simulation.scheduler import WakeupSchedule
+
+N = 12
+SEEDS = (2, 9, 14)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return uniform_deployment(n=N, extent=2.4, seed=17)
+
+
+class RowObserver:
+    """Records every on_slot_end call it receives, verbatim."""
+
+    def __init__(self) -> None:
+        self.rows: list[tuple[int, tuple, tuple]] = []
+
+    def on_slot_end(self, slot, transmissions, deliveries) -> None:
+        senders = tuple(t.sender for t in transmissions)
+        receivers = tuple(d.receiver for d in deliveries)
+        self.rows.append((slot, senders, receivers))
+
+
+class TestPerRunObservers:
+    def test_each_observer_sees_exactly_its_run(self, deployment):
+        batch_observers = [RowObserver() for _ in SEEDS]
+        run_mw_coloring_batched(
+            list(SEEDS), deployment, observers=[[o] for o in batch_observers]
+        )
+        for seed, observer in zip(SEEDS, batch_observers):
+            reference = RowObserver()
+            run_mw_coloring(deployment, seed=seed, observers=[reference])
+            assert observer.rows == reference.rows
+
+    def test_observers_survive_neighbour_compaction(self, deployment):
+        # A short-budget neighbour retires early; the long run's observer
+        # must keep receiving every slot after the batch compacts.
+        long_obs, short_obs = RowObserver(), RowObserver()
+        schedule = WakeupSchedule.staggered(N, interval=3)
+        results = run_mw_coloring_batched(
+            [SEEDS[0], SEEDS[1]],
+            deployment,
+            schedule=[schedule, None],
+            observers=[[long_obs], [short_obs]],
+        )
+        assert results[0].stats.slots_run != results[1].stats.slots_run
+        for seed, sched, observer in (
+            (SEEDS[0], schedule, long_obs),
+            (SEEDS[1], None, short_obs),
+        ):
+            reference = RowObserver()
+            run_mw_coloring(
+                deployment, seed=seed, schedule=sched, observers=[reference]
+            )
+            assert observer.rows == reference.rows
+
+
+class TestSharedObserver:
+    def test_interleaved_stream_is_lossless(self, deployment):
+        # One observer attached flat to every run: its stream is the
+        # runs' per-slot calls interleaved in run order.  Partitioned
+        # back out, it must equal the sequential scalar streams exactly.
+        shared = RowObserver()
+        references = []
+        for seed in SEEDS:
+            reference = RowObserver()
+            run_mw_coloring(deployment, seed=seed, observers=[reference])
+            references.append(reference.rows)
+        run_mw_coloring_batched(list(SEEDS), deployment, observers=[shared])
+
+        assert len(shared.rows) == sum(len(rows) for rows in references)
+        # Synchronous schedules keep all runs on the same slot, so the
+        # interleaving is strict round-robin until runs retire: greedily
+        # matching each shared row to the next expected row of some run
+        # must consume every reference stream.
+        cursors = [0] * len(references)
+        for row in shared.rows:
+            for index, rows in enumerate(references):
+                if cursors[index] < len(rows) and rows[cursors[index]] == row:
+                    cursors[index] += 1
+                    break
+            else:  # pragma: no cover - failure path
+                pytest.fail(f"shared observer row {row!r} matches no run")
+        assert cursors == [len(rows) for rows in references]
+
+
+class TestTraceRecorderIsolation:
+    def test_recorders_are_private_per_run(self, deployment):
+        results = run_mw_coloring_batched(list(SEEDS), deployment, trace=True)
+        recorders = [result.trace for result in results]
+        assert len({id(recorder) for recorder in recorders}) == len(SEEDS)
+        for seed, result in zip(SEEDS, results):
+            reference = run_mw_coloring(deployment, seed=seed, trace=True)
+            assert result.trace.events == reference.trace.events
+
+
+class TestAuditorAttachment:
+    def test_per_run_auditors_match_scalar_audit(self, deployment):
+        scalar_audits = []
+        graph = None
+        for seed in SEEDS:
+            result, auditor = run_mw_coloring_audited(deployment, seed=seed)
+            scalar_audits.append(auditor)
+            graph = result.graph
+        batch_auditors = [
+            IndependenceAuditor(positions=graph.positions, radius=graph.radius)
+            for _ in SEEDS
+        ]
+        run_mw_coloring_batched(
+            list(SEEDS),
+            deployment,
+            decision_listeners=[[a.on_decision] for a in batch_auditors],
+        )
+        for scalar_auditor, batch_auditor in zip(scalar_audits, batch_auditors):
+            assert batch_auditor.decisions_audited == scalar_auditor.decisions_audited
+            assert batch_auditor.violations == scalar_auditor.violations
+            assert batch_auditor.clean
+
+    def test_sharing_one_auditor_across_runs_is_the_hazard(self, deployment):
+        # Documented aliasing hazard, kept visible: a single auditor
+        # attached flat to a batch merges every run's decisions into one
+        # membership table (decisions_audited sums across runs), which is
+        # why correctness audits must attach per run.
+        result, reference = run_mw_coloring_audited(deployment, seed=SEEDS[0])
+        shared = IndependenceAuditor(
+            positions=result.graph.positions, radius=result.graph.radius
+        )
+        run_mw_coloring_batched(
+            list(SEEDS), deployment, decision_listeners=[shared.on_decision]
+        )
+        assert shared.decisions_audited >= len(SEEDS) * reference.decisions_audited // 2
+        assert shared.decisions_audited > reference.decisions_audited
+
+
+class TestObserversAreWriteOnly:
+    def test_attaching_taps_does_not_perturb_results(self, deployment):
+        bare = run_mw_coloring_batched(list(SEEDS), deployment, trace=True)
+        decisions: list[tuple[int, int, int]] = []
+        tapped = run_mw_coloring_batched(
+            list(SEEDS),
+            deployment,
+            trace=True,
+            observers=[[RowObserver()] for _ in SEEDS],
+            decision_listeners=[
+                lambda slot, node, color: decisions.append((slot, node, color))
+            ],
+        )
+        assert decisions
+        for before, after in zip(bare, tapped):
+            assert np.array_equal(before.coloring.colors, after.coloring.colors)
+            assert before.stats == after.stats
+            assert before.trace.events == after.trace.events

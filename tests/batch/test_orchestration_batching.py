@@ -1,0 +1,150 @@
+"""The --batch orchestration path: planner grouping, worker, executor.
+
+``batch_groups`` folds seed-contiguous unit stretches without touching
+the plan (the unit list, and therefore the config hash and run-store
+layout, stay byte-identical); the shard worker hands folded groups to an
+experiment's ``BATCHED_UNITS`` entry point; ``run_sharded(batch=True)``
+produces row-for-row the serial sweep's output, and serial and batched
+sweeps resume each other's stores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import BatchGroup, batch_groups
+from repro.errors import ReproError
+from repro.experiments._units import grid_units, unit
+from repro.orchestration import run_sharded
+from repro.orchestration.worker import run_shard_units
+
+from tests.orchestration import fake_exp
+from tests.orchestration.fake_exp import count_marks
+
+FAKE = "tests.orchestration.fake_exp"
+BATCHED = {"run_single": "run_single_batched"}
+
+
+class TestBatchGroups:
+    def test_folds_seed_contiguous_stretches(self):
+        units = grid_units("run_single", {"x": (1, 2)}, seeds=(0, 1, 2))
+        groups = batch_groups(units, BATCHED)
+        assert [group.batched_func for group in groups] == [
+            "run_single_batched",
+            "run_single_batched",
+        ]
+        assert [group.seeds for group in groups] == [[0, 1, 2], [0, 1, 2]]
+        assert [group.shared_kwargs for group in groups] == [{"x": 1}, {"x": 2}]
+
+    def test_concatenation_reproduces_the_plan(self):
+        units = grid_units(
+            "run_single", {"x": (1, 2, 3)}, seeds=(0, 1), sleep_s=0.0
+        ) + [unit("other_func", seed=0), unit("no_seed_func", x=9)]
+        groups = batch_groups(units, BATCHED)
+        flattened = [work for group in groups for work in group.units]
+        assert flattened == units
+        starts = [group.start for group in groups]
+        assert starts == sorted(starts)
+        for group in groups:
+            assert group.units == tuple(
+                units[group.start : group.start + len(group.units)]
+            )
+
+    def test_unmapped_and_seedless_units_stay_serial(self):
+        units = [unit("other_func", seed=0), unit("run_single", x=1)]
+        groups = batch_groups(units, BATCHED)
+        assert all(group.batched_func is None for group in groups)
+        assert all(len(group.units) == 1 for group in groups)
+
+    def test_differing_kwargs_split_groups(self):
+        units = [
+            unit("run_single", seed=0, x=1),
+            unit("run_single", seed=1, x=1),
+            unit("run_single", seed=0, x=2),
+        ]
+        groups = batch_groups(units, BATCHED)
+        assert [len(group.units) for group in groups] == [2, 1]
+
+    def test_empty_plan(self):
+        assert batch_groups([], BATCHED) == []
+
+    def test_groups_are_frozen(self):
+        (group,) = batch_groups([unit("run_single", seed=0, x=1)], BATCHED)
+        with pytest.raises(AttributeError):
+            group.start = 5
+
+
+class TestWorkerBatching:
+    def test_rows_identical_and_grouped_calls(self, tmp_path):
+        marks = str(tmp_path / "marks")
+        units = fake_exp.units(seeds=(0, 1, 2), xs=(1, 2), exec_dir=marks)
+        serial_rows, serial_counts = run_shard_units(FAKE, units, batch=False)
+        batched_rows, batched_counts = run_shard_units(FAKE, units, batch=True)
+        assert batched_rows == serial_rows
+        assert batched_counts == serial_counts
+        # one batched call per x-stretch, covering all three seeds
+        assert count_marks(marks, "batchcall-x1-S3") == 1
+        assert count_marks(marks, "batchcall-x2-S3") == 1
+
+    def test_result_count_mismatch_is_loud(self, monkeypatch):
+        units = fake_exp.units(seeds=(0, 1), xs=(1,))
+        monkeypatch.setattr(
+            fake_exp, "run_single_batched", lambda seeds, x, **k: [{"x": x}]
+        )
+        with pytest.raises(ReproError, match="1 results for 2 units"):
+            run_shard_units(FAKE, units, batch=True)
+
+    def test_modules_without_batched_units_run_serial(self, tmp_path, monkeypatch):
+        monkeypatch.delattr(fake_exp, "BATCHED_UNITS")
+        marks = str(tmp_path / "marks")
+        units = fake_exp.units(seeds=(0, 1), xs=(1,), exec_dir=marks)
+        rows, _ = run_shard_units(FAKE, units, batch=True)
+        assert rows == [row for work in units for row in [fake_exp.run_single(**work["kwargs"])]]
+        assert count_marks(marks, "batchcall-") == 0
+
+
+class TestShardedBatchSweep:
+    def test_rows_match_serial_sweep(self, tmp_path):
+        marks = str(tmp_path / "marks")
+        kwargs = {"seeds": (0, 1, 2), "xs": (1, 2), "exec_dir": marks}
+        serial = run_sharded(
+            "fake", module=FAKE, jobs=2, shard_size=3, unit_kwargs=kwargs
+        )
+        batched = run_sharded(
+            "fake", module=FAKE, jobs=2, shard_size=3,
+            unit_kwargs=kwargs, batch=True,
+        )
+        assert batched.complete and not batched.failures
+        assert batched.rows == serial.rows
+        # shard_size=3 aligns each shard with one x-stretch of 3 seeds
+        assert count_marks(marks, "batchcall-") == 2
+        assert batched.config_hash == serial.config_hash
+
+    def test_serial_store_resumes_batched_and_back(self, tmp_path):
+        kwargs = {"seeds": (0, 1, 2), "xs": (1, 2)}
+        store = tmp_path / "store"
+        first = run_sharded(
+            "fake", module=FAKE, jobs=1, shard_size=3,
+            unit_kwargs=kwargs, store=store,
+        )
+        resumed = run_sharded(
+            "fake", module=FAKE, jobs=1, shard_size=3,
+            unit_kwargs=kwargs, store=store, resume=True, batch=True,
+        )
+        assert resumed.config_hash == first.config_hash
+        assert sorted(resumed.resumed) == sorted(first.records)
+        assert resumed.executed == []
+        assert resumed.rows == first.rows
+
+    def test_misaligned_shards_still_bit_identical(self):
+        # shard_size=2 cuts across seed stretches: each shard holds a
+        # partial stretch, which batches partially — rows must not care.
+        kwargs = {"seeds": (0, 1, 2), "xs": (1, 2)}
+        serial = run_sharded(
+            "fake", module=FAKE, jobs=1, shard_size=2, unit_kwargs=kwargs
+        )
+        batched = run_sharded(
+            "fake", module=FAKE, jobs=1, shard_size=2,
+            unit_kwargs=kwargs, batch=True,
+        )
+        assert batched.rows == serial.rows

@@ -1,0 +1,366 @@
+"""Differential parity: the batched runner vs. the scalar runner.
+
+The bit-parity contract of ``run_mw_coloring_batched`` (the one
+non-negotiable property of the batch subsystem): for every scenario,
+running it inside a batch — of any size, mixed with arbitrary other
+scenarios — produces results *bit-identical* to the scalar
+``run_mw_coloring`` of the same arguments.  Identical colors, decision
+slots, leaders, run stats (slot counts, transmission and delivery
+counters), full trace event lists, fault-event summaries, and all
+non-timing telemetry counters.
+
+The scenario table below spans the scalar runner's surface: all three
+channel kinds, staggered and random wake-up schedules, every fault class
+(drops, corruption, node outages, pulsed jammers, slot skew, adversarial
+wake-up specs, and a kitchen-sink composition), both constant presets,
+and slot-budget cutoffs.  Scenarios execute batched in *mixed* chunks of
+up to eight runs so the suite also exercises heterogeneous batches and
+mid-batch compaction as converged rows retire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.batch import run_mw_coloring_batched
+from repro.coloring.runner import build_constants, run_mw_coloring
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    FaultPlan,
+    Jammer,
+    MessageFaults,
+    NodeOutage,
+    SlotSkew,
+    WakeupSpec,
+)
+from repro.geometry.deployment import uniform_deployment
+from repro.graphs.udg import UnitDiskGraph
+from repro.simulation.scheduler import WakeupSchedule
+from repro.sinr.params import PhysicalParams
+from repro.telemetry import Telemetry
+
+N = 12
+DEPLOYMENT_SPECS = {
+    "sparse": dict(n=N, extent=3.2, seed=5),
+    "mid": dict(n=N, extent=2.4, seed=17),
+    "dense": dict(n=N, extent=1.6, seed=29),
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One scalar-vs-batched comparison point."""
+
+    name: str
+    dep: str
+    seed: int
+    channel: str = "sinr"
+    schedule: tuple | None = None  # ("staggered", interval) | ("random", d, s)
+    faults: FaultPlan | None = None
+    preset: str = "practical"
+    max_slots: int | None = None
+
+
+def _drop() -> FaultPlan:
+    return FaultPlan(messages=MessageFaults(drop=0.15))
+
+
+def _corrupt() -> FaultPlan:
+    return FaultPlan(messages=MessageFaults(corrupt=0.2))
+
+
+def _lossy() -> FaultPlan:
+    return FaultPlan(messages=MessageFaults(drop=0.1, corrupt=0.1))
+
+
+def _outages() -> FaultPlan:
+    return FaultPlan(
+        outages=[NodeOutage(node=0, start=100), NodeOutage(node=3, start=50, stop=400)]
+    )
+
+
+def _jammer() -> FaultPlan:
+    return FaultPlan(
+        jammers=[Jammer(x=1.0, y=1.0, power=50.0, start=0, period=20, duty=5)]
+    )
+
+
+def _skew() -> FaultPlan:
+    return FaultPlan(skews=[SlotSkew(node=1, period=4), SlotSkew(node=6, period=9, phase=2)])
+
+
+def _wake_random() -> FaultPlan:
+    return FaultPlan(wakeup=WakeupSpec(pattern="random", max_delay=120))
+
+
+def _wake_bursts() -> FaultPlan:
+    return FaultPlan(wakeup=WakeupSpec(pattern="bursts", interval=40, burst=3))
+
+
+def _everything() -> FaultPlan:
+    return FaultPlan(
+        outages=[NodeOutage(node=2, start=200, stop=600)],
+        jammers=[Jammer(x=0.5, y=0.5, power=30.0, start=100, period=15, duty=4)],
+        messages=MessageFaults(drop=0.05, corrupt=0.05),
+        skews=[SlotSkew(node=4, period=6)],
+        wakeup=WakeupSpec(pattern="staggered", interval=9),
+        seed=99,
+    )
+
+
+def _scenarios() -> list[Scenario]:
+    scenarios: list[Scenario] = []
+    # Clean SINR runs: every deployment x four seeds.
+    for dep in DEPLOYMENT_SPECS:
+        for seed in range(4):
+            scenarios.append(Scenario(f"clean-{dep}-s{seed}", dep, seed))
+    # Alternate channel models.
+    for kind in ("graph", "collision_free"):
+        for dep in ("sparse", "dense"):
+            for seed in (4, 5, 6):
+                scenarios.append(
+                    Scenario(f"{kind}-{dep}-s{seed}", dep, seed, channel=kind)
+                )
+    # Staggered wake-ups at three intervals.
+    for interval in (1, 7, 31):
+        for seed in (7, 8):
+            scenarios.append(
+                Scenario(
+                    f"staggered{interval}-s{seed}",
+                    "mid",
+                    seed,
+                    schedule=("staggered", interval),
+                )
+            )
+    # Uniform-random wake-ups.
+    for max_delay, sched_seed in ((60, 3), (300, 9)):
+        for seed in (9, 10):
+            scenarios.append(
+                Scenario(
+                    f"random{max_delay}-s{seed}",
+                    "mid",
+                    seed,
+                    schedule=("random", max_delay, sched_seed),
+                )
+            )
+    # Every fault class, two seeds each.
+    fault_cases = {
+        "drop": _drop,
+        "corrupt": _corrupt,
+        "lossy": _lossy,
+        "outages": _outages,
+        "jammer": _jammer,
+        "skew": _skew,
+        "wakespec-random": _wake_random,
+        "wakespec-bursts": _wake_bursts,
+        "everything": _everything,
+    }
+    for label, factory in fault_cases.items():
+        for seed in (11, 12):
+            scenarios.append(
+                Scenario(f"fault-{label}-s{seed}", "mid", seed, faults=factory())
+            )
+    # Theoretical constants (slot budget keeps the suite fast; the cutoff
+    # itself is part of the parity surface).
+    for seed in (13, 14):
+        scenarios.append(
+            Scenario(
+                f"theoretical-s{seed}", "sparse", seed, preset="theoretical",
+                max_slots=500,
+            )
+        )
+    # Budget cutoffs, including the degenerate one-slot budget.
+    for seed in (15, 16):
+        scenarios.append(Scenario(f"budget300-s{seed}", "mid", seed, max_slots=300))
+    scenarios.append(Scenario("budget1", "mid", 17, max_slots=1))
+    # Cross-feature combinations.
+    for seed in (18, 19):
+        scenarios.append(
+            Scenario(
+                f"staggered-drop-s{seed}",
+                "dense",
+                seed,
+                schedule=("staggered", 5),
+                faults=_drop(),
+            )
+        )
+    for seed in (20, 21):
+        scenarios.append(
+            Scenario(
+                f"graph-lossy-s{seed}", "sparse", seed, channel="graph",
+                faults=_lossy(),
+            )
+        )
+    return scenarios
+
+
+SCENARIOS = _scenarios()
+assert len(SCENARIOS) >= 60, len(SCENARIOS)
+assert len({scenario.name for scenario in SCENARIOS}) == len(SCENARIOS)
+
+
+def _build_schedule(spec: tuple | None) -> WakeupSchedule | None:
+    if spec is None:
+        return None
+    if spec[0] == "staggered":
+        return WakeupSchedule.staggered(N, interval=spec[1])
+    return WakeupSchedule.uniform_random(N, max_delay=spec[1], seed=spec[2])
+
+
+@pytest.fixture(scope="session")
+def parity_pairs():
+    """Every scenario run both ways: scalar, and batched in mixed chunks."""
+    params = PhysicalParams().with_r_t(1.0)
+    deployments = {
+        name: uniform_deployment(**spec) for name, spec in DEPLOYMENT_SPECS.items()
+    }
+    constants = {}
+    for scenario in SCENARIOS:
+        key = (scenario.dep, scenario.preset)
+        if key not in constants:
+            graph = UnitDiskGraph(deployments[scenario.dep].positions, params.r_t)
+            constants[key] = build_constants(scenario.preset, graph, params, N)
+    schedules = {
+        scenario.name: _build_schedule(scenario.schedule) for scenario in SCENARIOS
+    }
+
+    scalar = {}
+    for scenario in SCENARIOS:
+        scalar[scenario.name] = run_mw_coloring(
+            deployments[scenario.dep],
+            seed=scenario.seed,
+            constants=constants[(scenario.dep, scenario.preset)],
+            schedule=schedules[scenario.name],
+            channel=scenario.channel,
+            max_slots=scenario.max_slots,
+            trace=True,
+            faults=scenario.faults,
+        )
+
+    # Batched, chunked by slot budget (a shared argument) into mixed
+    # groups of up to eight heterogeneous runs.
+    by_budget: dict[int | None, list[Scenario]] = {}
+    for scenario in SCENARIOS:
+        by_budget.setdefault(scenario.max_slots, []).append(scenario)
+    batched = {}
+    for budget, group in by_budget.items():
+        for start in range(0, len(group), 8):
+            chunk = group[start : start + 8]
+            results = run_mw_coloring_batched(
+                [scenario.seed for scenario in chunk],
+                [deployments[scenario.dep] for scenario in chunk],
+                constants=[
+                    constants[(scenario.dep, scenario.preset)] for scenario in chunk
+                ],
+                schedule=[schedules[scenario.name] for scenario in chunk],
+                channel=[scenario.channel for scenario in chunk],
+                max_slots=budget,
+                trace=True,
+                faults=[scenario.faults for scenario in chunk],
+            )
+            for scenario, result in zip(chunk, results):
+                batched[scenario.name] = result
+    return scalar, batched
+
+
+def _assert_result_parity(expected, actual) -> None:
+    assert np.array_equal(expected.coloring.colors, actual.coloring.colors)
+    assert np.array_equal(expected.decision_slots, actual.decision_slots)
+    assert np.array_equal(expected.leaders, actual.leaders)
+    assert expected.stats == actual.stats
+    assert expected.trace.events == actual.trace.events
+    assert expected.fault_events == actual.fault_events
+
+
+class TestScenarioParity:
+    @pytest.mark.parametrize(
+        "name", [scenario.name for scenario in SCENARIOS]
+    )
+    def test_bit_identical(self, name, parity_pairs):
+        scalar, batched = parity_pairs
+        _assert_result_parity(scalar[name], batched[name])
+
+    def test_covers_sixty_scenarios(self):
+        assert len(SCENARIOS) >= 60
+
+    def test_fault_scenarios_record_events(self, parity_pairs):
+        # The fault parity assertions must not be vacuous: the scalar
+        # side actually produced fault events to compare.
+        scalar, _ = parity_pairs
+        assert any(
+            scalar[s.name].fault_events
+            and any(scalar[s.name].fault_events.values())
+            for s in SCENARIOS
+            if s.faults is not None
+        )
+
+    def test_staggered_scenarios_stagger(self, parity_pairs):
+        scalar, _ = parity_pairs
+        run = scalar["staggered31-s7"]
+        wakes = run.trace.of_kind("enter_A")
+        assert wakes and wakes[0].slot != wakes[-1].slot
+
+
+def _strip_timing(snapshot: dict) -> dict:
+    """Drop wall-clock histograms — the only legitimately non-reproducible metrics."""
+    return {k: v for k, v in snapshot.items() if not k.endswith("_seconds")}
+
+
+class TestTelemetryParity:
+    @pytest.mark.parametrize(
+        "seed,faults",
+        [(6, None), (3, FaultPlan(messages=MessageFaults(drop=0.1)))],
+        ids=["clean", "faulty"],
+    )
+    def test_counters_bit_identical(self, seed, faults):
+        dep = uniform_deployment(**DEPLOYMENT_SPECS["mid"])
+        t_scalar = Telemetry(metrics=True, profile=False, trace=True)
+        t_batched = Telemetry(metrics=True, profile=False, trace=True)
+        scalar = run_mw_coloring(dep, seed=seed, telemetry=t_scalar, faults=faults)
+        batched = run_mw_coloring_batched(
+            [seed], dep, telemetry=[t_batched], faults=faults
+        )[0]
+        _assert_result_parity(scalar, batched)
+        scalar_metrics = t_scalar.metrics.snapshot()
+        batched_metrics = t_batched.metrics.snapshot()
+        assert _strip_timing(scalar_metrics) == _strip_timing(batched_metrics)
+        # Both sides still record the timing histograms (same keys),
+        # their values are just wall-clock and therefore not compared.
+        assert set(scalar_metrics) == set(batched_metrics)
+
+    def test_per_run_bundles_stay_isolated(self):
+        dep = uniform_deployment(**DEPLOYMENT_SPECS["mid"])
+        bundles = [Telemetry(metrics=True, profile=False, trace=False) for _ in range(2)]
+        run_mw_coloring_batched([3, 4], dep, telemetry=bundles)
+        for seed, bundle in zip((3, 4), bundles):
+            reference = Telemetry(metrics=True, profile=False, trace=False)
+            run_mw_coloring(dep, seed=seed, telemetry=reference)
+            assert _strip_timing(bundle.metrics.snapshot()) == _strip_timing(
+                reference.metrics.snapshot()
+            )
+
+    def test_single_bundle_rejected_for_real_batches(self):
+        dep = uniform_deployment(**DEPLOYMENT_SPECS["mid"])
+        bundle = Telemetry(metrics=True, profile=False, trace=False)
+        with pytest.raises(ConfigurationError):
+            run_mw_coloring_batched([1, 2], dep, telemetry=bundle)
+
+
+class TestArgumentHandling:
+    def test_empty_batch(self):
+        dep = uniform_deployment(**DEPLOYMENT_SPECS["mid"])
+        assert run_mw_coloring_batched([], dep) == []
+
+    def test_per_run_length_mismatch(self):
+        dep = uniform_deployment(**DEPLOYMENT_SPECS["mid"])
+        with pytest.raises(ConfigurationError, match="one entry per seed"):
+            run_mw_coloring_batched([1, 2, 3], [dep, dep])
+
+    def test_mixed_n_rejected(self):
+        small = uniform_deployment(**DEPLOYMENT_SPECS["mid"])
+        large = uniform_deployment(n=N + 3, extent=2.4, seed=17)
+        with pytest.raises(ConfigurationError, match="same n"):
+            run_mw_coloring_batched([1, 2], [small, large])

@@ -1,0 +1,14 @@
+"""Fixture: generator construction inside batch/ outside the planner."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.rng import rng_from_seed, spawn_generators
+
+
+def hot_loop(seeds):
+    streams = [spawn_generators(seed, 8) for seed in seeds]  # BAT001
+    extra = rng_from_seed(0)  # BAT001
+    ad_hoc = np.random.default_rng(1)  # BAT001 (and RNG003)
+    return streams, extra, ad_hoc

@@ -1,0 +1,9 @@
+"""Fixture: the planner is the sanctioned stream construction site."""
+
+from __future__ import annotations
+
+from repro.simulation.rng import spawn_generators
+
+
+def derive_streams(seeds, n):
+    return [spawn_generators(int(seed), n) for seed in seeds]
