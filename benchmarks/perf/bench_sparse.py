@@ -1,0 +1,201 @@
+"""Sparse-resolver scaling benchmark: per-slot cost from n = 10^3 to 10^6.
+
+Resolves single slots through ``SINRChannel`` at fixed deployment density
+while n grows by three orders of magnitude, once per backend:
+
+* ``resolver="dense"`` — the exact ``(n, k)`` matrix engine, only at
+  sizes where that matrix is still sane to materialise;
+* ``resolver="sparse"`` — the grid-bucketed engine of
+  :mod:`repro.sinr.sparse`, all the way up.
+
+For each size the script records wall-clock per slot, the tracemalloc
+peak of one resolve (the slot working set), and the sparse engine's pair
+counters.  The headline is the fitted scaling exponent of sparse time
+and memory against n — the acceptance line is *sub-quadratic* (the dense
+engine is exactly quadratic at fixed density; the sparse design note in
+``docs/SCALING.md`` predicts ~linear).  The table is written to
+``BENCH_sparse.json`` next to this file; that JSON is committed as the
+repo's scaling baseline.
+
+Before timing is trusted, every size that both backends can run is
+cross-checked: the sparse delivery set must be contained in the dense
+one (the certified far-field term only ever suppresses deliveries).  A
+divergence is a bug, not noise.
+
+Physics: ``alpha = 8`` keeps the interference disc at R_I ~ 5.5 R_T
+(the default ``alpha = 4`` gives R_I = 48 R_T, which at benchmark
+densities would put most of a mid-sized deployment inside one disc and
+measure the dense regime twice).  Senders are a deterministic 1% stride
+of the node order — uniform deployments make that spatially uniform
+without touching any RNG.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sparse.py          # full, ~5 min
+    PYTHONPATH=src python benchmarks/perf/bench_sparse.py --quick  # CI smoke
+
+(The script falls back to inserting ``src/`` into ``sys.path`` itself, so
+plain ``python benchmarks/perf/bench_sparse.py`` also works.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import platform
+import sys
+import time
+import tracemalloc
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent.parent
+
+try:  # allow running without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.geometry.deployment import uniform_deployment
+from repro.sinr.channel import SINRChannel, Transmission
+from repro.sinr.params import PhysicalParams
+
+OUT = HERE / "BENCH_sparse.json"
+
+#: nodes per unit^2 of the repo's n=100, extent-6 baseline density
+DENSITY = 100 / 36.0
+
+#: largest n the dense (n, k) engine is asked to materialise here
+DENSE_CEILING = 20_000
+
+#: transmitting fraction per slot (every SLOT_STRIDE-th node)
+SLOT_STRIDE = 100
+
+PARAMS = PhysicalParams(alpha=8.0).with_r_t(1.0)
+
+
+def _transmissions(n: int, offset: int) -> list[Transmission]:
+    """A deterministic ~1% sender slice, shifted per slot by ``offset``."""
+    return [
+        Transmission(sender, ("p", sender))
+        for sender in range(offset, n, SLOT_STRIDE)
+    ]
+
+
+def _as_set(deliveries) -> set:
+    return {(d.receiver, d.sender, d.payload) for d in deliveries}
+
+
+def _slot_cost(channel: SINRChannel, n: int, slots: int) -> tuple[float, int]:
+    """(mean seconds per slot, tracemalloc peak bytes of one resolve)."""
+    channel.resolve(_transmissions(n, 0))  # warm caches / grid
+    start = time.perf_counter()
+    for offset in range(1, slots + 1):
+        channel.resolve(_transmissions(n, offset))
+    per_slot_s = (time.perf_counter() - start) / slots
+    tracemalloc.start()
+    channel.resolve(_transmissions(n, slots + 1))
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return per_slot_s, peak
+
+
+def _measure(n: int, slots: int, deployment_seed: int) -> dict:
+    extent = math.sqrt(n / DENSITY)
+    deployment = uniform_deployment(n, extent, seed=deployment_seed)
+    k = len(_transmissions(n, 0))
+
+    sparse = SINRChannel(deployment.positions, PARAMS, resolver="sparse")
+    if n <= DENSE_CEILING:
+        dense = SINRChannel(deployment.positions, PARAMS)
+        sparse_set = _as_set(sparse.resolve(_transmissions(n, 0)))
+        dense_set = _as_set(dense.resolve(_transmissions(n, 0)))
+        if not sparse_set <= dense_set:  # pragma: no cover - bench guard
+            raise SystemExit(f"n={n}: sparse deliveries not a subset of dense")
+        dense_s, dense_peak = _slot_cost(dense, n, slots)
+    else:
+        dense_s = dense_peak = None
+
+    sparse_s, sparse_peak = _slot_cost(sparse, n, slots)
+    engine = sparse.sparse_engine
+    row = {
+        "n": n,
+        "k": k,
+        "extent": round(extent, 2),
+        "slots_timed": slots,
+        "sparse_per_slot_s": sparse_s,
+        "sparse_slot_peak_bytes": sparse_peak,
+        "pair_evals_per_slot": engine.pair_evals // (slots + 2),
+        "near_pairs_per_slot": engine.near_pairs // (slots + 2),
+        "dense_per_slot_s": dense_s,
+        "dense_slot_peak_bytes": dense_peak,
+        "dense_pairs_per_slot": n * k if dense_s is not None else None,
+    }
+    if dense_s is not None:
+        row["sparse_speedup"] = dense_s / sparse_s
+    return row
+
+
+def _exponent(results: list[dict], key: str) -> float:
+    """Log-log slope of ``key`` against n between the end points."""
+    first, last = results[0], results[-1]
+    return math.log(last[key] / first[key]) / math.log(last["n"] / first["n"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload for CI smoke"
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=OUT)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        workloads = [(1_000, 5), (4_000, 5)]
+    else:
+        workloads = [(1_000, 5), (10_000, 5), (100_000, 3), (1_000_000, 2)]
+
+    results = [_measure(n, slots, deployment_seed=7) for n, slots in workloads]
+
+    time_exponent = _exponent(results, "sparse_per_slot_s")
+    memory_exponent = _exponent(results, "sparse_slot_peak_bytes")
+    report = {
+        "benchmark": "sparse-resolver-scaling",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "params": {"alpha": PARAMS.alpha, "r_i_over_r_t": PARAMS.r_i / PARAMS.r_t},
+        "note": (
+            "per-slot SINR resolution at fixed density, 1% senders; sparse "
+            "deliveries cross-checked as a subset of dense before timing; "
+            "exponents are log-log end-point slopes (dense is 2.0 by "
+            "construction, sub-quadratic is the acceptance line)"
+        ),
+        "results": results,
+        "time_scaling_exponent": time_exponent,
+        "memory_scaling_exponent": memory_exponent,
+        "sub_quadratic": time_exponent < 2.0 and memory_exponent < 2.0,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for row in results:
+        dense = (
+            f"dense {row['dense_per_slot_s'] * 1e3:.1f}ms"
+            if row["dense_per_slot_s"] is not None
+            else "dense skipped"
+        )
+        print(
+            f"n={row['n']:>9,} k={row['k']:>6,}: sparse "
+            f"{row['sparse_per_slot_s'] * 1e3:.1f}ms/slot "
+            f"({row['sparse_slot_peak_bytes'] / 1e6:.1f}MB peak), {dense}"
+        )
+    print(
+        f"scaling exponents: time {time_exponent:.2f}, "
+        f"memory {memory_exponent:.2f} (dense = 2.00)"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

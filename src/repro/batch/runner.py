@@ -36,7 +36,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from .._validation import require_int
+from .._validation import require_in, require_int
 from ..errors import ConfigurationError, SimulationError
 from ..geometry.deployment import Deployment
 from ..graphs.coloring import Coloring
@@ -98,6 +98,7 @@ def run_mw_coloring_batched(
     observers: Sequence[SlotObserver] | Sequence[Sequence[SlotObserver]] = (),
     decision_listeners: Sequence[Callable] | Sequence[Sequence[Callable]] = (),
     half_duplex: bool = True,
+    resolver: str = "dense",
     telemetry: Telemetry | Sequence | None = None,
     faults: FaultPlan | Sequence | None = None,
 ) -> list[MWColoringResult]:
@@ -106,11 +107,16 @@ def run_mw_coloring_batched(
     Every argument keeps its :func:`~repro.coloring.runner.run_mw_coloring`
     meaning; see the module docstring for which accept per-run lists.
     Returns one result per seed, in seed order, each bit-identical to the
-    scalar run of that seed.
+    scalar run of that seed.  ``resolver="sparse"`` selects the
+    grid-bucketed SINR backend for every run (shared across the batch);
+    it bypasses the dense fast path and resolves through the sparse
+    channel stack, so each per-seed result is bit-identical to the scalar
+    sparse run.
     """
     seeds = [int(seed) for seed in seeds]
     for seed in seeds:
         require_int("seed", seed)
+    require_in("resolver", resolver, ("dense", "sparse"))
     batch = len(seeds)
     if batch == 0:
         return []
@@ -147,7 +153,7 @@ def run_mw_coloring_batched(
     # channel and the fast resolver (all read-only during execution).
     graphs: dict[int, UnitDiskGraph] = {}
     built_constants: dict[int, AlgorithmConstants] = {}
-    base_channels: dict[tuple[int, str], Channel] = {}
+    base_channels: dict[tuple[int, str, str], Channel] = {}
     resolvers: dict[int, _FastSinr] = {}
 
     run_graphs: list[UnitDiskGraph] = []
@@ -200,34 +206,39 @@ def run_mw_coloring_batched(
         spec = channels[index]
         prebuilt = isinstance(spec, Channel)
 
+        # The dense-only fast path; sparse runs resolve through the
+        # channel stack (the sparse engine is itself vectorised).
         fast = (
             not prebuilt
             and spec == "sinr"
+            and resolver == "dense"
             and plan is None
             and telemetry_r is None
             and not observer_lists[index]
         )
-        resolver = None
+        fast_resolver = None
         channel_obj = None
         fault_channel = None
         if fast:
-            resolver = resolvers.get(id(deployments[index]))
-            if resolver is None:
-                resolver = _FastSinr(graph.positions, params, half_duplex)
-                resolvers[id(deployments[index])] = resolver
+            fast_resolver = resolvers.get(id(deployments[index]))
+            if fast_resolver is None:
+                fast_resolver = _FastSinr(graph.positions, params, half_duplex)
+                resolvers[id(deployments[index])] = fast_resolver
         else:
             if prebuilt:
                 channel_obj = spec
             elif telemetry_r is not None:
                 # Telemetry counters are per-run state: give the run a
                 # private channel stack so nothing aliases across rows.
-                channel_obj = make_channel(spec, graph.positions, params, half_duplex)
+                channel_obj = make_channel(
+                    spec, graph.positions, params, half_duplex, resolver=resolver
+                )
             else:
-                key = (id(deployments[index]), spec)
+                key = (id(deployments[index]), spec, resolver)
                 channel_obj = base_channels.get(key)
                 if channel_obj is None:
                     channel_obj = make_channel(
-                        spec, graph.positions, params, half_duplex
+                        spec, graph.positions, params, half_duplex, resolver=resolver
                     )
                     base_channels[key] = channel_obj
             if plan is not None:
@@ -291,7 +302,7 @@ def run_mw_coloring_batched(
                 last_wake=schedule_r.last_wake,
                 n=n,
                 channel=channel_obj,
-                resolver=resolver,
+                resolver=fast_resolver,
                 observers=tuple(observer_lists[index]),
                 listeners=tuple(listeners),
                 recorder=recorder,

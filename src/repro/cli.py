@@ -123,6 +123,19 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resolver_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--resolver",
+        choices=["dense", "sparse"],
+        default="dense",
+        help=(
+            "SINR interference backend: exact dense matrix (default) or "
+            "the grid-bucketed sparse engine for large deployments "
+            "(docs/SCALING.md)"
+        ),
+    )
+
+
 def _add_physics_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--alpha", type=float, default=4.0, help="path-loss exponent")
     parser.add_argument("--beta", type=float, default=2.0, help="SINR threshold")
@@ -183,11 +196,14 @@ def _cmd_color(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from(args, "color")
     result, auditor = run_mw_coloring_audited(
         deployment, params, seed=args.seed, channel=args.channel,
-        telemetry=telemetry, faults=plan,
+        resolver=args.resolver, telemetry=telemetry, faults=plan,
     )
     row = result.summary()
     row["audit_violations"] = len(auditor.violations)
-    print(format_table([row], title="MW coloring run"))
+    print(format_table(
+        [row],
+        title=f"MW coloring run (channel={args.channel}, resolver={args.resolver})",
+    ))
     if plan is not None:
         from .invariants import degradation_report
 
@@ -253,6 +269,7 @@ def _cmd_srs(args: argparse.Namespace) -> int:
     report = simulate_uniform_algorithm(
         graph, simulated, schedule, params, max_rounds=args.max_rounds,
         telemetry=telemetry, faults=plan, fault_seed=args.seed,
+        resolver=args.resolver,
     )
     native = _SRS_WORKLOADS[args.algorithm](graph.n)
     native_report = run_uniform_rounds(graph, native, max_rounds=args.max_rounds)
@@ -265,7 +282,10 @@ def _cmd_srs(args: argparse.Namespace) -> int:
         "lost": report.lost_deliveries,
         "halted": report.halted,
     }
-    print(format_table([row], title="Corollary 1 single-round simulation"))
+    print(format_table(
+        [row],
+        title=f"Corollary 1 single-round simulation (resolver={args.resolver})",
+    ))
     if report.fault_events is not None:
         rows = [
             {"fault": key, "count": value}
@@ -315,6 +335,7 @@ def _run_orchestrated(args: argparse.Namespace) -> int:
         install_sigint=True,
         faults=plan,
         batch=getattr(args, "batch", False),
+        resolver=getattr(args, "resolver", None),
     )
     if result.interrupted:
         print("sweep interrupted; finish it with --resume", file=sys.stderr)
@@ -533,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     color.add_argument(
         "--channel", choices=["sinr", "graph", "collision_free"], default="sinr"
     )
+    _add_resolver_args(color)
     _add_faults_args(color)
     _add_telemetry_args(color)
     color.set_defaults(func=_cmd_color)
@@ -549,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", choices=sorted(_SRS_WORKLOADS), default="flooding"
     )
     srs.add_argument("--max-rounds", type=int, default=120)
+    _add_resolver_args(srs)
     _add_faults_args(srs)
     _add_telemetry_args(srs)
     srs.set_defaults(func=_cmd_srs)
@@ -613,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--shard-size spanning several seeds)"
         ),
     )
+    _add_resolver_args(sweep_cmd)
     _add_faults_args(sweep_cmd)
     _add_telemetry_args(sweep_cmd)
     sweep_cmd.set_defaults(func=_cmd_sweep)

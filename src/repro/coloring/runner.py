@@ -93,11 +93,23 @@ def make_channel(
     positions: np.ndarray,
     params: PhysicalParams,
     half_duplex: bool = True,
+    resolver: str = "dense",
 ) -> Channel:
-    """Channel factory: ``"sinr"``, ``"graph"`` or ``"collision_free"``."""
+    """Channel factory: ``"sinr"``, ``"graph"`` or ``"collision_free"``.
+
+    ``resolver`` selects the SINR interference backend (``"dense"`` or the
+    grid-bucketed ``"sparse"``, see ``docs/SCALING.md``); the non-SINR
+    channels have no interference matrix, so anything but the default is
+    rejected for them.
+    """
     require_in("channel", kind, ("sinr", "graph", "collision_free"))
+    require_in("resolver", resolver, ("dense", "sparse"))
     if kind == "sinr":
-        return SINRChannel(positions, params, half_duplex=half_duplex)
+        return SINRChannel(positions, params, half_duplex=half_duplex, resolver=resolver)
+    if resolver != "dense":
+        raise ConfigurationError(
+            f"resolver='sparse' only applies to the SINR channel, not {kind!r}"
+        )
     if kind == "graph":
         return GraphChannel(positions, params.r_t, half_duplex=half_duplex)
     return CollisionFreeChannel(positions, params.r_t, half_duplex=half_duplex)
@@ -117,6 +129,7 @@ def run_mw_coloring(
     observers: Sequence[SlotObserver] = (),
     decision_listeners: Sequence[Callable[[int, int, int], None]] = (),
     half_duplex: bool = True,
+    resolver: str = "dense",
     telemetry: Telemetry | None = None,
     faults: FaultPlan | None = None,
 ) -> MWColoringResult:
@@ -149,6 +162,11 @@ def run_mw_coloring(
         End-of-slot observers (called on active slots).
     decision_listeners:
         Callables ``(slot, node, color)`` fired at every color decision.
+    resolver:
+        SINR interference backend: ``"dense"`` (exact, default) or
+        ``"sparse"`` (grid-bucketed near field + certified far-field
+        bound, for large deployments — see ``docs/SCALING.md``).  Only
+        meaningful when ``channel`` is the string ``"sinr"``.
     telemetry:
         A :class:`~repro.telemetry.Telemetry` bundle.  When given, the
         channel and simulator emit metrics into it, the slot profiler is
@@ -185,6 +203,7 @@ def run_mw_coloring(
         observers=observers,
         decision_listeners=decision_listeners,
         half_duplex=half_duplex,
+        resolver=resolver,
         telemetry=telemetry,
         faults=faults,
     )
@@ -220,6 +239,7 @@ def _run(
     observers: Sequence[SlotObserver] = (),
     decision_listeners: Sequence[Callable[[int, int, int], None]] = (),
     half_duplex: bool = True,
+    resolver: str = "dense",
     telemetry: Telemetry | None = None,
     faults: FaultPlan | None = None,
 ) -> tuple[MWColoringResult, IndependenceAuditor | None]:
@@ -244,7 +264,9 @@ def _run(
     if isinstance(channel, Channel):
         channel_obj = channel
     else:
-        channel_obj = make_channel(channel, graph.positions, params, half_duplex)
+        channel_obj = make_channel(
+            channel, graph.positions, params, half_duplex, resolver=resolver
+        )
 
     fault_channel = None
     if faults is not None:

@@ -58,22 +58,31 @@ def _row(seed: int, extent: float, result) -> dict:
     }
 
 
-def run_single(seed: int, extent: float, n: int = DEFAULT_N) -> dict:
+def run_single(
+    seed: int, extent: float, n: int = DEFAULT_N, resolver: str | None = None
+) -> dict:
     """One deployment at the given density; returns one table row."""
     require_int("n", n, minimum=1)
     deployment = uniform_deployment(n, extent, seed=seed)
-    result = run_mw_coloring(deployment, seed=seed + 100)
+    result = run_mw_coloring(
+        deployment, seed=seed + 100, resolver=resolver or "dense"
+    )
     return _row(seed, extent, result)
 
 
 def run_single_batched(
-    seeds: Sequence[int], extent: float, n: int = DEFAULT_N
+    seeds: Sequence[int],
+    extent: float,
+    n: int = DEFAULT_N,
+    resolver: str | None = None,
 ) -> list[dict]:
     """All seeds of one density configuration as a single batched run."""
     require_int("n", n, minimum=1)
     deployments = [uniform_deployment(n, extent, seed=seed) for seed in seeds]
     results = run_mw_coloring_batched(
-        [seed + 100 for seed in seeds], deployments
+        [seed + 100 for seed in seeds],
+        deployments,
+        resolver=resolver or "dense",
     )
     return [
         _row(seed, extent, result) for seed, result in zip(seeds, results)
@@ -84,18 +93,27 @@ def units(
     seeds: Sequence[int] = (0, 1),
     extents: Sequence[float] = DEFAULT_EXTENTS,
     n: int = DEFAULT_N,
+    resolver: str | None = None,
 ) -> list[dict]:
-    """Shardable work units, in canonical ``run()`` row order."""
-    return grid_units("run_single", {"extent": extents}, seeds, n=n)
+    """Shardable work units, in canonical ``run()`` row order.
+
+    ``resolver=None`` (and only None) is dropped from the units, so the
+    unit list — and every config hash derived from it — is byte-identical
+    to pre-resolver releases for dense sweeps.
+    """
+    return grid_units(
+        "run_single", {"extent": extents}, seeds, n=n, resolver=resolver
+    )
 
 
 def run(
     seeds: Sequence[int] = (0, 1),
     extents: Sequence[float] = DEFAULT_EXTENTS,
     n: int = DEFAULT_N,
+    resolver: str | None = None,
 ) -> list[dict]:
     """The full density sweep."""
-    return run_units(__name__, units(seeds, extents, n))
+    return run_units(__name__, units(seeds, extents, n, resolver))
 
 
 def check(rows: Sequence[dict]) -> None:

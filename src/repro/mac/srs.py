@@ -107,6 +107,7 @@ def simulate_uniform_algorithm(
     telemetry: Telemetry | None = None,
     faults: FaultPlan | None = None,
     fault_seed: int = 0,
+    resolver: str = "dense",
 ) -> SRSReport:
     """Run a uniform algorithm over the SINR physical layer via SRS.
 
@@ -124,6 +125,10 @@ def simulate_uniform_algorithm(
     unless the plan carries a seed); delivery failures then show up as
     ``lost_deliveries`` and ``report.fault_events`` — SRS degrades
     gracefully instead of asserting Theorem 3.
+
+    ``resolver`` selects the SINR interference backend (``"dense"`` or
+    the grid-bucketed ``"sparse"`` for large deployments, see
+    ``docs/SCALING.md``).
     """
     require_int("max_rounds", max_rounds, minimum=0)
     if len(algorithms) != graph.n:
@@ -146,7 +151,10 @@ def simulate_uniform_algorithm(
     # the engine's geometry cache sized to the frame turns every round
     # after the first into O(n) mask lookups.
     channel = SINRChannel(
-        graph.positions, params, cache_slots=schedule.frame_length
+        graph.positions,
+        params,
+        cache_slots=schedule.frame_length,
+        resolver=resolver,
     )
     fault_channel = None
     if faults is not None:

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import ConfigurationError
-from .._validation import require_int
+from .._validation import require_in, require_int
 from ..faults.plan import FaultPlan
 from .plan import Shard, config_hash, plan_shards
 from .store import RunStore, STORE_SCHEMA
@@ -140,7 +140,7 @@ def _resolve_units(
             if key in unit_kwargs and key not in supported:
                 raise ConfigurationError(
                     f"{module_path} does not accept {key!r} in units(); "
-                    "this experiment cannot run under a fault plan"
+                    "this experiment cannot honour that override"
                 )
         return list(module.units(**supported))
     return list(module.units())
@@ -162,6 +162,7 @@ def run_sharded(
     module: str | None = None,
     faults: FaultPlan | dict | None = None,
     batch: bool = False,
+    resolver: str | None = None,
 ) -> SweepResult:
     """Run one experiment's sweep as parallel shards; see module docstring.
 
@@ -183,6 +184,16 @@ def run_sharded(
     list, config hash and store layout are untouched — a serial sweep can
     be resumed batched and vice versa.  Batching pays off when
     ``shard_size`` spans several seeds of one configuration.
+
+    ``resolver`` selects the SINR interference backend for every unit
+    (``"sparse"`` is the grid-bucketed engine of ``docs/SCALING.md``).
+    Unlike ``batch`` it *changes the rows*, so ``"sparse"`` is folded
+    into every unit and therefore into the config hash — ``--resume``
+    treats dense and sparse sweeps as distinct work.  ``None`` and
+    ``"dense"`` both mean the exact dense engine and leave the unit list
+    byte-identical to earlier releases, so existing dense stores keep
+    resuming.  An experiment whose ``units()`` does not accept
+    ``resolver`` raises rather than silently running dense.
 
     Returns a :class:`SweepResult`; raises nothing on shard failures or
     interrupts — inspect ``failures`` / ``interrupted`` instead.
@@ -209,6 +220,15 @@ def run_sharded(
         unit_kwargs = dict(unit_kwargs or {})
         unit_kwargs["faults"] = FaultPlan.coerce(faults).to_dict()
         require_keys = ("faults",)
+    if resolver is not None:
+        require_in("resolver", resolver, ("dense", "sparse"))
+    if resolver == "sparse":
+        # Sparse changes the rows, so it must reach every unit and the
+        # config hash; dense (or None) keeps the unit list — and hence
+        # the hash — identical to pre-resolver releases.
+        unit_kwargs = dict(unit_kwargs or {})
+        unit_kwargs["resolver"] = resolver
+        require_keys = require_keys + ("resolver",)
 
     units = _resolve_units(module, unit_kwargs, require_keys)
     shards = plan_shards(units, shard_size)

@@ -9,6 +9,9 @@
   engine: one squared-distance computation per (slot, sender set), memoised
   derived matrices, and an opt-in sender-set geometry cache for
   frame-periodic schedules.
+* :mod:`repro.sinr.sparse` — the grid-bucketed sparse resolver for large
+  deployments: exact near-field gain terms plus a certified conservative
+  far-field bound (Lemma 3), O(n * deg) instead of O(n^2).
 * :mod:`repro.sinr.interference` — interference measurement utilities used
   to validate Lemma 3 empirically.
 """
@@ -26,9 +29,10 @@ from .channel import (
     SINRChannel,
     Transmission,
 )
-from .engine import EngineCacheInfo, ResolutionEngine, SlotGeometry
+from .engine import EngineCacheInfo, ResolutionEngine, SlotGeometry, apply_power_law
 from .interference import InterferenceMeter, received_power, total_interference
 from .params import PhysicalParams
+from .sparse import SparseResolutionEngine
 
 if TYPE_CHECKING:
     from .lossy import LossyChannel
@@ -57,7 +61,9 @@ __all__ = [
     "ResolutionEngine",
     "SINRChannel",
     "SlotGeometry",
+    "SparseResolutionEngine",
     "Transmission",
+    "apply_power_law",
     "received_power",
     "total_interference",
 ]

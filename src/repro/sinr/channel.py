@@ -35,11 +35,13 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from .._validation import require_in
 from ..errors import ConfigurationError
 from ..geometry.grid_index import GridIndex
 from ..geometry.point import as_positions
 from .engine import ResolutionEngine, SlotGeometry, build_deliveries
 from .params import PhysicalParams
+from .sparse import SparseResolutionEngine
 
 __all__ = [
     "Channel",
@@ -179,6 +181,16 @@ class SINRChannel(Channel):
 
     ``cache_slots`` enables the engine's sender-set geometry cache; frame
     periodic schedules (TDMA, SRS) should set it to the frame length.
+
+    ``resolver`` selects the interference backend.  ``"dense"`` (default)
+    is the exact ``(n, k)`` matrix engine above, bit-identical to every
+    prior release.  ``"sparse"`` is the grid-bucketed
+    :class:`~repro.sinr.sparse.SparseResolutionEngine`: exact gain terms
+    inside the ``R_I`` disc plus a certified conservative bound for the
+    far field, O(n * deg) instead of O(n^2) — its delivery set is a
+    subset of the dense one (see ``docs/SCALING.md``).  ``far_field``
+    and ``interference_range`` tune the sparse backend and are rejected
+    with the dense one, which has no such notions.
     """
 
     def __init__(
@@ -187,15 +199,44 @@ class SINRChannel(Channel):
         params: PhysicalParams,
         half_duplex: bool = True,
         cache_slots: int = 0,
+        resolver: str = "dense",
+        far_field: bool = True,
+        interference_range: float | None = None,
     ) -> None:
         super().__init__(positions, half_duplex)
+        require_in("resolver", resolver, ("dense", "sparse"))
         self._params = params
+        self._resolver = resolver
+        self._sparse: SparseResolutionEngine | None = None
+        if resolver == "sparse":
+            self._sparse = SparseResolutionEngine(
+                self._positions,
+                params,
+                half_duplex=half_duplex,
+                far_field=far_field,
+                interference_range=interference_range,
+            )
+        elif not far_field or interference_range is not None:
+            raise ConfigurationError(
+                "far_field/interference_range only apply to resolver='sparse'; "
+                "the dense resolver computes every pair exactly"
+            )
         self._engine = ResolutionEngine(self._positions, cache_slots=cache_slots)
 
     @property
     def params(self) -> PhysicalParams:
         """Physical constants the channel evaluates the SINR predicate with."""
         return self._params
+
+    @property
+    def resolver(self) -> str:
+        """Active interference backend: ``"dense"`` or ``"sparse"``."""
+        return self._resolver
+
+    @property
+    def sparse_engine(self) -> SparseResolutionEngine | None:
+        """The sparse backend (``None`` under the dense resolver)."""
+        return self._sparse
 
     @property
     def reach(self) -> float:
@@ -265,6 +306,12 @@ class SINRChannel(Channel):
         senders = self._check_transmissions(transmissions)
         if senders.size == 0:
             return []
+        if self._sparse is not None:
+            receiving, best_col = self._sparse.reception(senders)
+            receivers = np.flatnonzero(receiving)
+            return build_deliveries(
+                receivers, best_col[receivers], senders, transmissions
+            )
         geometry = self._engine.geometry(senders)
         receiving, best_col = self._reception_of(geometry)
         receivers = np.flatnonzero(receiving)

@@ -215,3 +215,43 @@ class TestFaultsFlag:
         out = capsys.readouterr().out
         assert code in (0, 1)  # drops may or may not break exactness
         assert "fault events under" in out
+
+
+class TestResolverEcho:
+    """The config echo must name the active interference backend."""
+
+    def test_color_echoes_default_dense(self, capsys):
+        code = main(["color", "--n", "30", "--extent", "4", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resolver=dense" in out
+
+    def test_color_runs_and_echoes_sparse(self, capsys):
+        code = main(
+            ["color", "--n", "30", "--extent", "4", "--seed", "1",
+             "--resolver", "sparse"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resolver=sparse" in out
+
+    def test_srs_echoes_resolver(self, capsys):
+        code = main(
+            ["srs", "--n", "100", "--extent", "6", "--seed", "24",
+             "--algorithm", "flooding", "--resolver", "sparse"]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "resolver=sparse" in out
+
+    def test_sweep_accepts_resolver_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "exp1", "--resolver", "sparse"])
+        assert args.resolver == "sparse"
+        args = parser.parse_args(["sweep", "exp1"])
+        assert args.resolver == "dense"
+
+    def test_rejects_unknown_resolver(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["color", "--resolver", "banded"])
