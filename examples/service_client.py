@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""A worked session against the coloring job service (docs/SERVICE.md).
+
+Boots a throwaway service on an ephemeral port (or targets an already
+running one if ``REPRO_SERVICE_URL`` is set), then walks the whole API:
+
+1. ``GET /v1/experiments``   — discover what can be submitted,
+2. ``POST /v1/jobs``         — submit EXP-10 (202: queued),
+3. ``GET /v1/jobs/<id>``     — poll until the job settles,
+4. ``GET .../events``        — stream the NDJSON telemetry replay,
+5. ``POST /v1/jobs`` again   — same spec, answered from the cache (200),
+6. ``GET .../result``        — fetch the rows and the check verdict.
+
+Run:  python examples/service_client.py
+"""
+
+import json
+import os
+import threading
+import time
+import urllib.request
+
+SPEC = {"experiment": "exp10"}  # closed-form geometry sweep: fast, seedless
+
+
+def get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=60) as reply:
+        return json.loads(reply.read())
+
+
+def post(base: str, path: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+def main() -> None:
+    base = os.environ.get("REPRO_SERVICE_URL")
+    server = app = None
+    if base is None:
+        # no live service: boot a private one on an ephemeral port
+        import tempfile
+
+        from repro.service import ServiceApp, make_server
+
+        app = ServiceApp(tempfile.mkdtemp(prefix="repro-store-"), workers=1)
+        server = make_server(app, "127.0.0.1", 0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        print(f"booted throwaway service at {base}")
+
+    try:
+        listing = get(base, "/v1/experiments")["experiments"]
+        print(f"service offers {len(listing)} experiments "
+              f"({', '.join(entry['id'] for entry in listing[:4])}, ...)")
+
+        status, body = post(base, "/v1/jobs", SPEC)
+        job = body["job"]
+        print(f"submitted {job['job_id']}: HTTP {status}, "
+              f"state={job['state']} (cached={body['cached']})")
+
+        while job["state"] in ("queued", "running"):
+            time.sleep(0.2)
+            job = get(base, f"/v1/jobs/{job['job_id']}")["job"]
+        print(f"job settled: state={job['state']}, "
+              f"executions={job['executions']}, wall={job['wall_s']:.2f}s")
+
+        with urllib.request.urlopen(
+            base + f"/v1/jobs/{job['job_id']}/events?timeout_s=60", timeout=120
+        ) as reply:
+            events = [json.loads(line) for line in reply.read().splitlines()]
+        kinds = [event["k"] for event in events]
+        print(f"streamed {len(events)} NDJSON events "
+              f"({kinds.count('telemetry')} telemetry records)")
+
+        status, body = post(base, "/v1/jobs", SPEC)
+        print(f"resubmitted: HTTP {status}, cached={body['cached']}, "
+              f"executions still {body['job']['executions']}")
+        assert status == 200 and body["cached"], "second submit must hit cache"
+
+        result = get(base, f"/v1/jobs/{job['job_id']}/result")
+        print(f"result: {result['num_rows']} rows, "
+              f"columns={result['columns'][:3]}..., "
+              f"check_passed={result['check_passed']}")
+        assert result["check_passed"], "EXP-10 acceptance check failed"
+
+        print("OK — submit, poll, stream, cached resubmit, result fetch.")
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if app is not None:
+            app.close()
+
+
+if __name__ == "__main__":
+    main()

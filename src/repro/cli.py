@@ -17,6 +17,9 @@ The subcommands expose the library's main flows without writing code:
 * ``sweep``    — the full orchestration surface: sharded multi-process
   sweeps with a persistent run store, per-shard timeout and retry,
   graceful Ctrl-C drain and ``--resume`` (see docs/ORCHESTRATION.md).
+* ``serve``    — long-running HTTP job API over the same orchestration
+  layer: queued submissions, content-addressed result cache, streaming
+  NDJSON telemetry (see docs/SERVICE.md).
 * ``report``   — summarise a telemetry JSONL artifact offline.
 
 ``color``, ``srs`` and ``experiment`` take ``--telemetry-out FILE`` to
@@ -436,6 +439,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the HTTP job service and serve until Ctrl-C."""
+    from .service import ServiceApp, make_server
+
+    app = ServiceApp(
+        args.store,
+        workers=args.workers,
+        job_procs=args.jobs,
+        queue_size=args.queue_size,
+        run_check=not args.no_check,
+        verbose=args.verbose,
+    )
+    server = make_server(app, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro service listening on http://{host}:{port} "
+        f"(store: {args.store}) — Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (in-flight jobs drain)", file=sys.stderr)
+    finally:
+        server.server_close()
+        app.close()
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .errors import ConfigurationError
 
@@ -640,6 +672,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_args(sweep_cmd)
     _add_telemetry_args(sweep_cmd)
     sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="serve the coloring job API over HTTP (docs/SERVICE.md)",
+        description=(
+            "Long-running REST service over the orchestration layer: "
+            "POST /v1/jobs submits an experiment sweep (validated, keyed "
+            "by config hash), the content-addressed run store answers "
+            "repeat submissions without re-executing, and "
+            "GET /v1/jobs/<id>/events streams shard telemetry as NDJSON. "
+            "Stdlib HTTP only — no framework, no new dependencies."
+        ),
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8423, metavar="PORT",
+        help="bind port (0 picks an ephemeral port)",
+    )
+    serve_cmd.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="run-store directory — the service's result cache",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent jobs (worker threads driving the executor)",
+    )
+    serve_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per job (run_sharded's pool size)",
+    )
+    serve_cmd.add_argument(
+        "--queue-size", type=int, default=64, metavar="N",
+        help="max queued jobs before submissions answer 503",
+    )
+    serve_cmd.add_argument(
+        "--no-check", action="store_true",
+        help="skip the experiment check() verdict on finished jobs",
+    )
+    serve_cmd.add_argument(
+        "--verbose", action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     report = sub.add_parser(
         "report", help="summarise a telemetry JSONL artifact offline"

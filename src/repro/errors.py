@@ -34,3 +34,16 @@ class ColoringError(ReproError):
 
 class ScheduleError(ReproError):
     """A MAC schedule is malformed or cannot be constructed."""
+
+
+class ServiceError(ReproError):
+    """A job-service request cannot be honoured.
+
+    Carries the HTTP status the service front end should answer with, so
+    route handlers raise one exception type and the transport layer maps
+    it uniformly (400 bad request, 404 unknown job, 409 not ready ...).
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status

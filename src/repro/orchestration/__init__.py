@@ -33,7 +33,7 @@ scaling.
 from __future__ import annotations
 
 from .aggregate import check_merged, merged_rows, write_merged_artifact
-from .executor import SweepResult, run_sharded
+from .executor import SweepPlan, SweepResult, plan_sweep, run_sharded
 from .plan import Shard, config_hash, plan_shards
 from .store import RunStore, STORE_SCHEMA
 from .worker import ShardTimeout, execute_shard
@@ -43,12 +43,14 @@ __all__ = [
     "STORE_SCHEMA",
     "Shard",
     "ShardTimeout",
+    "SweepPlan",
     "SweepResult",
     "check_merged",
     "config_hash",
     "execute_shard",
     "merged_rows",
     "plan_shards",
+    "plan_sweep",
     "run_sharded",
     "write_merged_artifact",
 ]

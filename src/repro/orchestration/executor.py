@@ -41,7 +41,7 @@ from .plan import Shard, config_hash, plan_shards
 from .store import RunStore, STORE_SCHEMA
 from .worker import execute_shard, init_worker
 
-__all__ = ["SweepResult", "run_sharded"]
+__all__ = ["SweepPlan", "SweepResult", "plan_sweep", "run_sharded"]
 
 #: Keep at most this many shards queued per worker so a stop request
 #: never has to wait on a deep submission backlog.
@@ -146,6 +146,78 @@ def _resolve_units(
     return list(module.units())
 
 
+@dataclass(frozen=True)
+class SweepPlan:
+    """One sweep's work description, fingerprinted but not yet executed.
+
+    The planning half of :func:`run_sharded`, exposed so callers that
+    need the cache key *before* committing to an execution — the job
+    service's content-addressed result cache, dry-run tooling — derive
+    it from exactly the code path the executor itself uses.  Two plans
+    with equal ``config_hash`` describe byte-identical unit lists.
+    """
+
+    experiment: str
+    module: str
+    units: tuple
+    config_hash: str
+
+    @property
+    def num_units(self) -> int:
+        """How many independent units the sweep decomposes into."""
+        return len(self.units)
+
+
+def plan_sweep(
+    experiment: str,
+    *,
+    unit_kwargs: dict | None = None,
+    module: str | None = None,
+    faults: FaultPlan | dict | None = None,
+    resolver: str | None = None,
+) -> SweepPlan:
+    """Resolve one sweep's canonical unit list and its config hash.
+
+    Mirrors :func:`run_sharded`'s planning exactly — same registry
+    lookup, same fault-plan canonicalisation, same resolver folding —
+    and is what :func:`run_sharded` itself calls, so a cache keyed on
+    the returned ``config_hash`` can never disagree with the hash an
+    actual execution stores under.
+    """
+    if module is None:
+        from ..experiments import REGISTRY
+
+        if experiment not in REGISTRY:
+            raise ConfigurationError(
+                f"unknown experiment {experiment!r}; pick one of "
+                f"{sorted(REGISTRY)}"
+            )
+        module = REGISTRY[experiment].__name__
+
+    require_keys: tuple = ()
+    if faults is not None:
+        unit_kwargs = dict(unit_kwargs or {})
+        unit_kwargs["faults"] = FaultPlan.coerce(faults).to_dict()
+        require_keys = ("faults",)
+    if resolver is not None:
+        require_in("resolver", resolver, ("dense", "sparse"))
+    if resolver == "sparse":
+        # Sparse changes the rows, so it must reach every unit and the
+        # config hash; dense (or None) keeps the unit list — and hence
+        # the hash — identical to pre-resolver releases.
+        unit_kwargs = dict(unit_kwargs or {})
+        unit_kwargs["resolver"] = resolver
+        require_keys = require_keys + ("resolver",)
+
+    units = _resolve_units(module, unit_kwargs, require_keys)
+    return SweepPlan(
+        experiment=experiment,
+        module=module,
+        units=tuple(units),
+        config_hash=config_hash(experiment, units, STORE_SCHEMA),
+    )
+
+
 def run_sharded(
     experiment: str,
     *,
@@ -205,34 +277,17 @@ def run_sharded(
     if resume and store is None:
         raise ConfigurationError("--resume needs a --store to resume from")
 
-    if module is None:
-        from ..experiments import REGISTRY
-
-        if experiment not in REGISTRY:
-            raise ConfigurationError(
-                f"unknown experiment {experiment!r}; pick one of "
-                f"{sorted(REGISTRY)}"
-            )
-        module = REGISTRY[experiment].__name__
-
-    require_keys: tuple = ()
-    if faults is not None:
-        unit_kwargs = dict(unit_kwargs or {})
-        unit_kwargs["faults"] = FaultPlan.coerce(faults).to_dict()
-        require_keys = ("faults",)
-    if resolver is not None:
-        require_in("resolver", resolver, ("dense", "sparse"))
-    if resolver == "sparse":
-        # Sparse changes the rows, so it must reach every unit and the
-        # config hash; dense (or None) keeps the unit list — and hence
-        # the hash — identical to pre-resolver releases.
-        unit_kwargs = dict(unit_kwargs or {})
-        unit_kwargs["resolver"] = resolver
-        require_keys = require_keys + ("resolver",)
-
-    units = _resolve_units(module, unit_kwargs, require_keys)
+    sweep_plan = plan_sweep(
+        experiment,
+        unit_kwargs=unit_kwargs,
+        module=module,
+        faults=faults,
+        resolver=resolver,
+    )
+    module = sweep_plan.module
+    units = list(sweep_plan.units)
     shards = plan_shards(units, shard_size)
-    cfg_hash = config_hash(experiment, units, STORE_SCHEMA)
+    cfg_hash = sweep_plan.config_hash
 
     if store is not None and not isinstance(store, RunStore):
         store = RunStore(store)

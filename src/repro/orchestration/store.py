@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import tempfile
 from typing import Sequence
 
 from ..errors import ConfigurationError
@@ -37,10 +38,27 @@ STORE_SCHEMA = ORCHESTRATION_SCHEMA
 
 
 def _atomic_write(path: pathlib.Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (same-directory temp + rename)."""
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
+    """Write ``text`` to ``path`` atomically (same-directory temp + rename).
+
+    The temp name is unique per call (not a fixed ``.tmp`` suffix): two
+    writers racing on the same shard — service worker threads sharing a
+    store, or a resumed sweep overlapping a still-draining one — each
+    write their own temp file and the last rename wins whole, so a
+    reader can never observe a half-written record under the final name.
+    """
+    handle, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as file:
+            file.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass  # best-effort temp cleanup; the original error propagates
+        raise
 
 
 class RunStore:

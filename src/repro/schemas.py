@@ -20,6 +20,7 @@ __all__ = [
     "FAULT_PLAN_SCHEMA",
     "ORCHESTRATION_SCHEMA",
     "SCHEMA_PATTERN",
+    "SERVICE_SCHEMA",
     "TELEMETRY_SCHEMA",
     "schema_major",
 ]
@@ -32,6 +33,9 @@ ORCHESTRATION_SCHEMA = "repro.orchestration/1"
 
 #: Declarative fault-injection plans (``--faults plan.json``).
 FAULT_PLAN_SCHEMA = "repro.faults/1"
+
+#: HTTP job-service request/response envelopes (``repro serve``).
+SERVICE_SCHEMA = "repro.service/1"
 
 #: The shape every schema identifier must match.
 SCHEMA_PATTERN = re.compile(r"^repro\.[a-z_]+/[0-9]+$")

@@ -1,0 +1,218 @@
+"""HTTP transport for the job service (stdlib ``http.server`` only).
+
+:class:`ServiceApp` wires a :class:`~repro.service.jobs.JobManager` to
+the route table; :func:`make_server` binds it to a
+:class:`~http.server.ThreadingHTTPServer` so each request — including a
+long-lived NDJSON event stream — gets its own daemon thread while the
+manager's worker pool executes jobs behind them.
+
+Error mapping is uniform: :class:`~repro.errors.ServiceError` answers
+with its carried status, :class:`~repro.errors.ConfigurationError`
+(bad work descriptions caught at plan time) answers 400, and anything
+else answers 500 with the exception type named — always as a JSON body
+``{"error": ..., "status": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import ConfigurationError, ServiceError
+from ..orchestration.store import RunStore
+from .jobs import JobManager
+from .routes import Response, dispatch
+
+__all__ = ["ServiceApp", "make_server"]
+
+
+class ServiceApp:
+    """One service instance: a job manager plus request plumbing."""
+
+    def __init__(
+        self,
+        store: RunStore | str,
+        *,
+        workers: int = 2,
+        job_procs: int = 1,
+        queue_size: int = 64,
+        run_check: bool = True,
+        verbose: bool = False,
+    ) -> None:
+        self.manager = JobManager(
+            store,
+            workers=workers,
+            job_procs=job_procs,
+            queue_size=queue_size,
+            run_check=run_check,
+        )
+        self.verbose = verbose
+
+    def handle(
+        self, method: str, path: str, query: dict, payload: Any
+    ) -> Response:
+        """Dispatch one request, folding every failure into a Response."""
+        try:
+            return dispatch(self, method, path, query, payload)
+        except ServiceError as failure:
+            return _error_response(failure.status, str(failure))
+        except ConfigurationError as failure:
+            return _error_response(400, str(failure))
+        except Exception as failure:
+            return _error_response(
+                500, f"{type(failure).__name__}: {failure}"
+            )
+
+    def close(self) -> None:
+        """Stop the worker pool (idempotent)."""
+        self.manager.shutdown()
+
+
+def _error_response(status: int, message: str) -> Response:
+    return Response(status=status, body={"error": message, "status": status})
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Per-connection glue: parse, dispatch, encode.
+
+    Subclassed per server by :func:`make_server` so the handler carries
+    its :class:`ServiceApp` as a class attribute (the stdlib instantiates
+    handlers itself, so there is nowhere to pass constructor arguments).
+    """
+
+    app: ServiceApp  # set by make_server
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
+        query = dict(parse_qsl(parts.query))
+
+        payload: Any = None
+        if method == "POST":
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                length = 0
+            raw = self.rfile.read(length) if length else b""
+            if raw:
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as failure:
+                    self._send_json(
+                        _error_response(
+                            400, f"request body is not valid JSON: {failure}"
+                        )
+                    )
+                    return
+
+        response = self.app.handle(method, path, query, payload)
+        if response.stream is not None:
+            self._send_stream(response)
+        else:
+            self._send_json(response)
+
+    # -- encoding ---------------------------------------------------------
+
+    def _send_json(self, response: Response) -> None:
+        body = json.dumps(response.body or {}, default=repr).encode("utf-8")
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _send_stream(self, response: Response) -> None:
+        """NDJSON: one JSON object per line, flushed as produced.
+
+        No Content-Length is known up front, so the connection closes to
+        delimit the stream; a client that disconnects mid-stream simply
+        ends the generator.
+        """
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            assert response.stream is not None
+            for record in response.stream:
+                line = json.dumps(record, default=repr) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to answer
+        except ServiceError as failure:
+            # stream started, headers sent: best effort error trailer
+            try:
+                line = json.dumps(
+                    {"k": "error", "error": str(failure)}
+                ) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away mid-error; nothing left to do
+        finally:
+            self.close_connection = True
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Quiet by default; per-request lines only in verbose mode."""
+        if self.app.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+
+def make_server(
+    app: ServiceApp, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-serve threading HTTP server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``) — how the tests and the example client
+    boot throwaway instances.  The caller owns the serve loop::
+
+        server = make_server(app, "127.0.0.1", 8080)
+        try:
+            server.serve_forever()
+        finally:
+            server.shutdown()   # from another thread, or on KeyboardInterrupt
+            app.close()
+    """
+    handler = type("ReproServiceHandler", (_Handler,), {"app": app})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    app: ServiceApp,
+    host: str = "127.0.0.1",
+    port: int = 8423,
+    *,
+    ready: threading.Event | None = None,
+) -> None:
+    """Serve until interrupted (the ``repro serve`` entry point).
+
+    Sets ``ready`` (if given) once the socket is bound — how embedders
+    and tests wait for a service thread to come up without polling.
+    """
+    server = make_server(app, host, port)
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass  # clean Ctrl-C: fall through to shutdown
+    finally:
+        server.server_close()
+        app.close()

@@ -1,0 +1,116 @@
+"""Content-addressed result cache over the orchestration run store.
+
+The cache *is* the :class:`~repro.orchestration.store.RunStore`: a
+sweep's results live under ``<root>/<experiment>/<config_hash>/`` and
+the config hash is a pure function of the work (experiment id, unit
+list, store schema — see :func:`~repro.orchestration.plan.config_hash`).
+This module adds the service's read path on top:
+
+* :meth:`ResultCache.lookup` — is the *complete* result for a hash
+  already on disk?  If yes, serve it without executing anything.
+* :meth:`ResultCache.stored_layout` — a partially-complete run pins its
+  shard layout (``--resume`` semantics); new submissions for the same
+  hash must execute with the stored shard size, not their own.
+* per-shard telemetry artifact paths, which the streaming endpoint
+  replays as NDJSON.
+
+Everything here is read-only and safe against concurrent writers: the
+store's writes are atomic renames, so a reader sees a shard file either
+complete or not at all, never torn.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+from ..orchestration.store import RunStore
+
+__all__ = ["CachedRun", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CachedRun:
+    """One complete, cached sweep result as read back from the store."""
+
+    experiment: str
+    config_hash: str
+    num_shards: int
+    shard_size: int
+    rows: tuple
+    shard_wall_s: float
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+
+class ResultCache:
+    """Read-side view of a :class:`RunStore` keyed by config hash."""
+
+    def __init__(self, store: RunStore) -> None:
+        self.store = store
+
+    def stored_layout(
+        self, experiment: str, cfg_hash: str
+    ) -> tuple[int, int] | None:
+        """``(num_shards, shard_size)`` a prior run pinned, or None.
+
+        Present as soon as any execution wrote the manifest — even an
+        interrupted one — because resuming under a different shard size
+        would break the contiguous merge.
+        """
+        manifest = self.store.load_manifest(experiment, cfg_hash)
+        if manifest is None:
+            return None
+        num_shards = manifest.get("num_shards")
+        shard_size = manifest.get("shard_size")
+        if not isinstance(num_shards, int) or not isinstance(shard_size, int):
+            return None
+        return num_shards, shard_size
+
+    def lookup(self, experiment: str, cfg_hash: str) -> CachedRun | None:
+        """The complete cached result for a hash, or None.
+
+        A result counts as cached only when the manifest exists and
+        *every* planned shard loads and validates; a partial run is not
+        a hit (the job manager resumes it instead).
+        """
+        layout = self.stored_layout(experiment, cfg_hash)
+        if layout is None:
+            return None
+        num_shards, shard_size = layout
+        records = self.store.completed_shards(experiment, cfg_hash, num_shards)
+        if len(records) != num_shards:
+            return None
+        rows = [
+            row
+            for index in sorted(records)
+            for row in records[index]["rows"]
+        ]
+        return CachedRun(
+            experiment=experiment,
+            config_hash=cfg_hash,
+            num_shards=num_shards,
+            shard_size=shard_size,
+            rows=tuple(rows),
+            shard_wall_s=float(
+                sum(record.get("wall_s", 0.0) for record in records.values())
+            ),
+        )
+
+    def shard_done(self, experiment: str, cfg_hash: str, index: int) -> bool:
+        """True once shard ``index``'s result file exists.
+
+        Existence is completeness: the store only ever renames a fully
+        written temp file into place, and the worker closes the shard's
+        telemetry artifact *before* the parent persists the record — so
+        a done shard also has a final, fully-readable artifact.
+        """
+        return self.store.shard_path(experiment, cfg_hash, index).exists()
+
+    def telemetry_path(
+        self, experiment: str, cfg_hash: str, index: int
+    ) -> pathlib.Path:
+        """Where shard ``index``'s telemetry JSONL artifact lives."""
+        return self.store.telemetry_path(experiment, cfg_hash, index)

@@ -37,6 +37,7 @@ from typing import Any
 from .jsonl import SCHEMA, RunArtifact, TelemetryWriter, read_run
 from .profiler import SlotProfile, SlotProfiler
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .tail import follow_jsonl
 
 __all__ = [
     "Counter",
@@ -49,6 +50,7 @@ __all__ = [
     "SlotProfiler",
     "Telemetry",
     "TelemetryWriter",
+    "follow_jsonl",
     "read_run",
 ]
 

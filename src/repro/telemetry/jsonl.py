@@ -79,10 +79,13 @@ class TelemetryWriter:
         return self._path
 
     def write(self, record: dict) -> None:
-        """Append one record as a JSON line."""
+        """Append one record as a JSON line (flushed, so tails see it)."""
         if self._file is None:
             raise ConfigurationError(f"telemetry writer for {self._path} is closed")
         self._file.write(json.dumps(record, default=_jsonable) + "\n")
+        # Flush per record: a crashed run leaves a readable prefix, and a
+        # live tail (repro.telemetry.tail) sees lines as they happen.
+        self._file.flush()
 
     def trace_event(self, event) -> None:
         """Append one ``trace`` record from a ``TraceEvent``."""

@@ -1,0 +1,113 @@
+"""Tail-follow reading of streaming JSONL telemetry artifacts.
+
+:func:`read_run` parses a *finished* artifact; :func:`follow_jsonl`
+reads one that is still being written — the job service streams live
+progress to HTTP clients by following the shard artifacts a sweep's
+workers are producing.  The reader:
+
+* yields only **complete** lines (terminated by a newline), so a record
+  caught mid-write is held back until its final byte lands;
+* tolerates the file not existing yet (a worker that has not opened its
+  artifact) and polls until it appears;
+* stops cleanly on three signals — a ``stop`` event, a ``complete()``
+  predicate returning True with no unread data left, or an optional
+  wall-clock ``timeout_s`` safety net;
+* raises :class:`~repro.errors.ConfigurationError` with the line number
+  on corrupt JSON, exactly like :func:`~repro.telemetry.jsonl.read_run`.
+
+The byte offset only ever advances past whole lines, so a partially
+flushed write is re-examined on the next poll rather than half-consumed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from typing import Callable, Iterator
+
+from ..errors import ConfigurationError
+
+__all__ = ["follow_jsonl"]
+
+
+def _complete_lines(chunk: bytes) -> tuple[list[bytes], int]:
+    """The whole lines in ``chunk`` and how many bytes they consume."""
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return [], 0
+    return chunk[: end + 1].splitlines(), end + 1
+
+
+def follow_jsonl(
+    path: str | pathlib.Path,
+    *,
+    poll_s: float = 0.05,
+    stop: threading.Event | None = None,
+    complete: Callable[[], bool] | None = None,
+    timeout_s: float | None = None,
+) -> Iterator[dict]:
+    """Yield JSONL records from ``path`` as they are appended.
+
+    Parameters
+    ----------
+    poll_s:
+        Sleep between polls when no new complete line is available.
+    stop:
+        Optional event; when set, the generator returns immediately
+        (pending records are *not* drained — this is the abort path).
+    complete:
+        Optional predicate declaring the writer finished.  It is checked
+        *before* each read, so once it returns True the generator drains
+        whatever is on disk and then returns — no final record can slip
+        between the check and the read.
+    timeout_s:
+        Optional overall budget; exceeding it while waiting raises
+        :class:`~repro.errors.ConfigurationError` rather than silently
+        truncating the stream.
+    """
+    path = pathlib.Path(path)
+    offset = 0
+    line_number = 0
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    while True:
+        if stop is not None and stop.is_set():
+            return
+        finished = complete() if complete is not None else False
+        try:
+            with path.open("rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except OSError:
+            chunk = b""
+        lines, consumed = _complete_lines(chunk)
+        offset += consumed
+        for raw in lines:
+            line_number += 1
+            text = raw.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+            except json.JSONDecodeError as failure:
+                raise ConfigurationError(
+                    f"{path}: line {line_number} is not valid JSON "
+                    f"({failure.msg}) — the artifact is corrupt"
+                ) from failure
+            if not isinstance(record, dict):
+                raise ConfigurationError(
+                    f"{path}: line {line_number} is not a JSON object — "
+                    "not a telemetry record"
+                )
+            yield record
+        if lines:
+            continue  # drained something; immediately look again
+        if finished:
+            return
+        if deadline is not None and time.monotonic() > deadline:
+            raise ConfigurationError(
+                f"timed out after {timeout_s}s following {path}; "
+                "the writer stalled or never completed"
+            )
+        time.sleep(poll_s)

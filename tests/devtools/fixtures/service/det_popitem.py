@@ -1,0 +1,11 @@
+"""Reject fixture: the service/ exemption covers DET001/DET004 only.
+
+Every other determinism hazard — here DET003's popitem — still fires
+inside service/ files.
+"""
+
+from __future__ import annotations
+
+
+def evict_job(jobs: dict) -> object:
+    return jobs.popitem()

@@ -63,6 +63,17 @@ class TestDeterminismRules:
     def test_det004_flags_environ_and_getenv(self):
         assert codes_in("det_environ.py", "DET004") == ["DET004", "DET004"]
 
+    def test_det001_det004_exempt_service_boundary(self):
+        # service/ is a documented process-boundary exemption: wall-clock
+        # job timestamps and environment-read configuration are allowed
+        # without noqas (docs/STATIC_ANALYSIS.md)
+        assert codes_in("service/clock_ok.py", "DET001") == []
+        assert codes_in("service/clock_ok.py", "DET004") == []
+
+    def test_service_exemption_does_not_cover_other_det_rules(self):
+        # the boundary exemption is scoped: DET003 still fires in service/
+        assert codes_in("service/det_popitem.py", "DET003") == ["DET003"]
+
 
 class TestContractRules:
     def test_exp001_reports_each_missing_export(self):

@@ -1,0 +1,118 @@
+"""Concurrent store access: readers never observe torn shard records.
+
+The service shares one RunStore between executor worker threads (each
+driving its own process pool) and HTTP reader threads serving results
+and streams.  The store's contract under that concurrency is simple:
+a reader sees a shard file either complete and valid, or not at all —
+never a half-written or interleaved record.  These tests hammer that
+contract with one (and then several) writers against many readers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.orchestration import RunStore
+
+EXPERIMENT = "conc"
+HASH = "deadbeefdeadbeef"
+
+
+def payload(tag: int, rows: int = 400) -> dict:
+    """A shard record big enough that a torn write would be visible."""
+    return {
+        "shard": 0,
+        "rows": [{"tag": tag, "i": i, "value": tag * 1000 + i} for i in range(rows)],
+        "wall_s": float(tag),
+    }
+
+
+def assert_untorn(record: dict) -> None:
+    """Every row belongs to one write: no interleaving, no truncation."""
+    rows = record["rows"]
+    tags = {row["tag"] for row in rows}
+    assert len(tags) == 1, f"rows from {len(tags)} different writes"
+    tag = tags.pop()
+    assert len(rows) == 400
+    assert all(row["value"] == tag * 1000 + row["i"] for row in rows)
+    assert record["wall_s"] == float(tag)
+
+
+class TestOneWriterManyReaders:
+    def test_readers_only_ever_see_complete_records(self, tmp_path):
+        store = RunStore(tmp_path)
+        stop = threading.Event()
+        problems: list[str] = []
+
+        def write() -> None:
+            tag = 0
+            while not stop.is_set():
+                tag += 1
+                store.save_shard(EXPERIMENT, HASH, payload(tag))
+
+        def read() -> None:
+            seen = 0
+            deadline = time.monotonic() + 30.0
+            while (
+                not stop.is_set() or seen == 0
+            ) and time.monotonic() < deadline:
+                record = store.load_shard(EXPERIMENT, HASH, 0)
+                if record is None:
+                    continue
+                seen += 1
+                try:
+                    assert_untorn(record)
+                except AssertionError as failure:
+                    problems.append(str(failure))
+                    return
+
+        writer = threading.Thread(target=write)
+        readers = [threading.Thread(target=read) for _ in range(4)]
+        writer.start()
+        for thread in readers:
+            thread.start()
+        threading.Event().wait(1.0)
+        stop.set()
+        writer.join(timeout=30)
+        for thread in readers:
+            thread.join(timeout=30)
+        assert not problems, problems[0]
+        # the final state on disk is a valid record too
+        assert_untorn(store.load_shard_record(EXPERIMENT, HASH, 0))
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_last_rename_wins_whole(self, tmp_path):
+        # two service workers (or a resumed sweep overlapping a draining
+        # one) may write the same shard; unique temp names mean neither
+        # can truncate the other's in-progress write, and whichever
+        # rename lands last leaves a complete record
+        store = RunStore(tmp_path)
+        barrier = threading.Barrier(4)
+        failures: list[BaseException] = []
+
+        def write(tag: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(50):
+                    store.save_shard(EXPERIMENT, HASH, payload(tag))
+            except BaseException as failure:
+                failures.append(failure)
+
+        writers = [
+            threading.Thread(target=write, args=(tag,)) for tag in (1, 2, 3, 4)
+        ]
+        for thread in writers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=60)
+        assert not failures, failures[0]
+        assert_untorn(store.load_shard_record(EXPERIMENT, HASH, 0))
+
+    def test_no_temp_litter_after_the_race(self, tmp_path):
+        store = RunStore(tmp_path)
+        for tag in (1, 2):
+            store.save_shard(EXPERIMENT, HASH, payload(tag))
+        leftovers = list(store.run_dir(EXPERIMENT, HASH).glob("*.tmp"))
+        assert leftovers == []

@@ -1,0 +1,33 @@
+"""Shared fixtures for the job-service tests.
+
+The ``fake`` experiment (tests/orchestration/fake_exp.py) is patched
+into the registry so jobs execute in milliseconds; its module path is
+importable from pool worker processes, so the full execution pipeline
+(threads -> process pool -> store) runs for real.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import REGISTRY
+from tests.orchestration import fake_exp
+
+
+@pytest.fixture
+def fake_registry(monkeypatch):
+    """Register the orchestration fixture experiment as ``fake``."""
+    monkeypatch.setitem(REGISTRY, "fake", fake_exp)
+    return fake_exp
+
+
+def wait_until(predicate, timeout_s: float = 60.0, poll_s: float = 0.02) -> bool:
+    """Poll ``predicate`` until true or the deadline passes."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return predicate()

@@ -1,0 +1,96 @@
+"""Cache keys cannot collide across resolver and fault-plan variants.
+
+The service's whole caching story rests on one property: specs that
+describe *different rows* hash to different config hashes (distinct
+store directories, distinct job ids), while pure execution knobs leave
+the hash untouched.  These are regression tests for that property at
+the :func:`~repro.orchestration.plan_sweep` layer the service keys on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, MessageFaults
+from repro.orchestration import RunStore, plan_sweep
+
+FAKE = "tests.orchestration.fake_exp"
+
+
+def plan_for(**kwargs):
+    return plan_sweep("exp1", unit_kwargs={"seeds": range(2)}, **kwargs)
+
+
+class TestResolverAxis:
+    def test_sparse_and_dense_are_distinct_entries(self):
+        dense = plan_for()
+        sparse = plan_for(resolver="sparse")
+        assert dense.config_hash != sparse.config_hash
+
+    def test_dense_aliases_the_default(self):
+        # "dense" and None mean the same engine and must share the
+        # pre-resolver hash, so existing dense stores keep resuming
+        assert plan_for().config_hash == plan_for(resolver="dense").config_hash
+
+
+class TestFaultAxis:
+    def test_fault_plan_changes_the_hash(self):
+        plan = FaultPlan(messages=MessageFaults(drop=0.2))
+        clean = plan_sweep("exp13")
+        faulty = plan_sweep("exp13", faults=plan)
+        assert clean.config_hash != faulty.config_hash
+
+    def test_different_plans_hash_apart(self):
+        light = FaultPlan(messages=MessageFaults(drop=0.1))
+        heavy = FaultPlan(messages=MessageFaults(drop=0.5))
+        assert (
+            plan_sweep("exp13", faults=light).config_hash
+            != plan_sweep("exp13", faults=heavy).config_hash
+        )
+
+    def test_dict_and_object_plans_are_one_entry(self):
+        plan = FaultPlan(messages=MessageFaults(drop=0.2))
+        assert (
+            plan_sweep("exp13", faults=plan).config_hash
+            == plan_sweep("exp13", faults=plan.to_dict()).config_hash
+        )
+
+
+class TestCrossVariantSeparation:
+    def test_dense_no_faults_vs_sparse_with_plan_store_apart(self, tmp_path):
+        # the headline regression: the two ends of the spec space land
+        # in different store directories and different job ids
+        dense = plan_for()
+        sparse = plan_for(resolver="sparse")
+        store = RunStore(tmp_path)
+        dirs = {
+            store.run_dir(p.experiment, p.config_hash) for p in (dense, sparse)
+        }
+        assert len(dirs) == 2
+        job_ids = {f"{p.experiment}-{p.config_hash}" for p in (dense, sparse)}
+        assert len(job_ids) == 2
+
+    def test_seed_count_is_part_of_the_key(self):
+        two = plan_sweep("exp1", unit_kwargs={"seeds": range(2)})
+        three = plan_sweep("exp1", unit_kwargs={"seeds": range(3)})
+        assert two.config_hash != three.config_hash
+
+    def test_execution_knobs_never_reach_the_hash(self):
+        # shard size / timeout / retries are scheduling, not work: the
+        # planner does not even see them, so the hash cannot move
+        baseline = plan_for()
+        again = plan_for()
+        assert baseline.config_hash == again.config_hash
+        assert baseline.units == again.units
+
+    def test_unknown_experiment_fails_fast(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            plan_sweep("exp99")
+
+    def test_module_override_matches_registry_free_planning(self):
+        plan = plan_sweep(
+            "fake", module=FAKE, unit_kwargs={"seeds": [0], "xs": [1, 2]}
+        )
+        assert plan.num_units == 2
+        assert len(plan.config_hash) == 16

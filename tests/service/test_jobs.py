@@ -1,0 +1,218 @@
+"""JobManager: dedup, cache hits, failure lifecycle, event streams."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JobManager, JobSpec
+from repro.telemetry import read_run
+
+from .conftest import wait_until
+
+
+@pytest.fixture
+def manager(tmp_path, fake_registry):
+    manager = JobManager(tmp_path / "store", workers=2, job_procs=1)
+    yield manager
+    manager.shutdown()
+
+
+def fake_spec(**overrides) -> JobSpec:
+    kwargs = {"experiment": "fake", "seeds": 2, "params": {"xs": [1, 2]}}
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def wait_done(manager: JobManager, job_id: str) -> None:
+    assert wait_until(
+        lambda: manager.get(job_id).state in ("done", "failed")
+    ), f"job {job_id} never settled"
+
+
+class TestSubmission:
+    def test_submit_executes_once_and_serves_rows(self, manager):
+        record, created, cached = manager.submit(fake_spec())
+        assert created and not cached
+        assert record.job_id == f"fake-{record.config_hash}"
+        wait_done(manager, record.job_id)
+        assert record.state == "done"
+        assert record.executions == 1
+        assert record.check_passed is True
+        result = manager.result(record.job_id)
+        assert result["num_rows"] == record.rows_count == 4
+        assert result["columns"] == ["x", "seed", "value"]
+
+    def test_duplicate_submission_attaches_without_new_execution(self, manager):
+        first, _, _ = manager.submit(fake_spec())
+        wait_done(manager, first.job_id)
+        again, created, cached = manager.submit(fake_spec())
+        assert again is first
+        assert not created and cached
+        assert first.executions == 1
+
+    def test_cold_manager_hits_the_store_with_zero_executions(
+        self, tmp_path, fake_registry
+    ):
+        # a service restart keeps its cache: the second manager serves
+        # the same submission from disk without running anything
+        store = tmp_path / "store"
+        warm = JobManager(store, workers=1)
+        try:
+            record, _, _ = warm.submit(fake_spec())
+            wait_done(warm, record.job_id)
+            rows = warm.result(record.job_id)["rows"]
+        finally:
+            warm.shutdown()
+        cold = JobManager(store, workers=1)
+        try:
+            cached_record, created, cached = cold.submit(fake_spec())
+            assert created and cached
+            assert cached_record.state == "done"
+            assert cached_record.cached and cached_record.executions == 0
+            assert cold.result(cached_record.job_id)["rows"] == rows
+        finally:
+            cold.shutdown()
+
+    def test_execution_knobs_share_one_job(self, manager):
+        first, _, _ = manager.submit(fake_spec(shard_size=1))
+        second, created, _ = manager.submit(fake_spec(shard_size=4, retries=3))
+        assert second is first and not created
+
+    def test_distinct_params_are_distinct_jobs(self, manager):
+        first, _, _ = manager.submit(fake_spec(params={"xs": [1, 2]}))
+        second, created, _ = manager.submit(fake_spec(params={"xs": [1, 3]}))
+        assert created and second.job_id != first.job_id
+
+    def test_queue_overflow_answers_503(self, tmp_path, fake_registry):
+        throttled = JobManager(
+            tmp_path / "store", workers=1, queue_size=1
+        )
+        try:
+            # a slow job occupies the lone worker; the next fills the
+            # queue; the one after must bounce with 503
+            specs = [
+                fake_spec(params={"xs": [x], "sleep_s": 0.5})
+                for x in (11, 12, 13)
+            ]
+            busy, _, _ = throttled.submit(specs[0])
+            # the lone worker must have dequeued the first job before
+            # the second fills the queue, else the 503 hits job two
+            assert wait_until(lambda: busy.state != "queued")
+            throttled.submit(specs[1])
+            with pytest.raises(ServiceError) as failure:
+                throttled.submit(specs[2])
+            assert failure.value.status == 503
+        finally:
+            throttled.shutdown()
+
+
+class TestFailureLifecycle:
+    def test_failing_job_reports_failed_and_result_answers_409(
+        self, manager, tmp_path
+    ):
+        spec = fake_spec(
+            params={
+                "xs": [5],
+                "fail_first": 9,
+                "fail_dir": str(tmp_path / "marks"),
+            },
+            retries=0,
+        )
+        record, _, _ = manager.submit(spec)
+        wait_done(manager, record.job_id)
+        assert record.state == "failed"
+        assert record.failures
+        with pytest.raises(ServiceError) as failure:
+            manager.result(record.job_id)
+        assert failure.value.status == 409
+
+    def test_resubmitting_a_failed_job_requeues_it(self, manager, tmp_path):
+        # fail_first=1 with retries=0: the first execution fails, the
+        # resubmission's execution finds the marker and succeeds
+        spec = fake_spec(
+            params={
+                "xs": [7],
+                "fail_first": 1,
+                "fail_dir": str(tmp_path / "marks"),
+            },
+            retries=0,
+        )
+        record, _, _ = manager.submit(spec)
+        wait_done(manager, record.job_id)
+        assert record.state == "failed"
+        again, created, cached = manager.submit(spec)
+        assert again is record and not created and not cached
+        wait_done(manager, record.job_id)
+        assert record.state == "done"
+        assert record.executions == 2
+
+    def test_unknown_job_answers_404(self, manager):
+        with pytest.raises(ServiceError) as failure:
+            manager.get("fake-0000000000000000")
+        assert failure.value.status == 404
+
+
+class TestEventStream:
+    def test_stream_replays_exactly_the_on_disk_artifacts(self, manager):
+        record, _, _ = manager.submit(fake_spec(shard_size=2))
+        events = list(manager.iter_events(record.job_id, timeout_s=60))
+        assert events[0]["k"] == "job"
+        assert events[-1]["k"] == "job"
+        assert events[-1]["job"]["state"] == "done"
+
+        streamed = [e for e in events if e["k"] == "telemetry"]
+        assert streamed, "no telemetry events streamed"
+        on_disk = []
+        for index in range(record.num_shards):
+            path = manager.cache.telemetry_path(
+                record.experiment, record.config_hash, index
+            )
+            with path.open(encoding="utf-8") as handle:
+                for line in handle:
+                    on_disk.append((index, json.loads(line)))
+        assert [(e["shard"], e["record"]) for e in streamed] == on_disk
+        # and the artifacts themselves are valid telemetry files
+        for index in range(record.num_shards):
+            artifact = read_run(
+                manager.cache.telemetry_path(
+                    record.experiment, record.config_hash, index
+                )
+            )
+            assert artifact.rows
+
+    def test_stream_of_cached_job_is_a_full_replay(
+        self, tmp_path, fake_registry
+    ):
+        store = tmp_path / "store"
+        warm = JobManager(store, workers=1)
+        try:
+            record, _, _ = warm.submit(fake_spec())
+            live = list(warm.iter_events(record.job_id, timeout_s=60))
+        finally:
+            warm.shutdown()
+        cold = JobManager(store, workers=1)
+        try:
+            cached_record, _, cached = cold.submit(fake_spec())
+            assert cached
+            replay = list(cold.iter_events(cached_record.job_id, timeout_s=60))
+        finally:
+            cold.shutdown()
+        live_telemetry = [e for e in live if e["k"] == "telemetry"]
+        replay_telemetry = [e for e in replay if e["k"] == "telemetry"]
+        assert replay_telemetry == live_telemetry
+
+    def test_stream_of_failed_job_terminates(self, manager, tmp_path):
+        spec = fake_spec(
+            params={
+                "xs": [9],
+                "fail_first": 9,
+                "fail_dir": str(tmp_path / "marks"),
+            },
+            retries=0,
+        )
+        record, _, _ = manager.submit(spec)
+        events = list(manager.iter_events(record.job_id, timeout_s=60))
+        assert events[-1]["job"]["state"] == "failed"

@@ -1,0 +1,128 @@
+"""Tail-follow JSONL reader: live appends, partial lines, stop signals."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import follow_jsonl
+from repro.telemetry.jsonl import TelemetryWriter
+
+
+def write_lines(path, records) -> None:
+    with path.open("a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+class TestDrainFinished:
+    def test_reads_a_finished_file_completely(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        records = [{"k": "row", "i": i} for i in range(5)]
+        write_lines(path, records)
+        assert list(follow_jsonl(path, complete=lambda: True)) == records
+
+    def test_missing_file_with_complete_writer_yields_nothing(self, tmp_path):
+        assert (
+            list(follow_jsonl(tmp_path / "never.jsonl", complete=lambda: True))
+            == []
+        )
+
+    def test_record_landing_with_completion_is_not_lost(self, tmp_path):
+        # complete() is checked before the read, so a record flushed just
+        # before the writer declared itself done is always drained
+        path = tmp_path / "run.jsonl"
+        state = {"done": False}
+
+        def complete() -> bool:
+            if not state["done"]:
+                # the "writer" finishes between this check and the next:
+                # its final record must still be yielded
+                write_lines(path, [{"k": "late"}])
+                state["done"] = True
+                return False
+            return True
+
+        records = list(follow_jsonl(path, poll_s=0.01, complete=complete))
+        assert {"k": "late"} in records
+
+
+class TestLiveFollow:
+    def test_follows_appends_from_another_thread(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        done = threading.Event()
+
+        def writer() -> None:
+            for i in range(20):
+                write_lines(path, [{"i": i}])
+                time.sleep(0.005)
+            done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        records = list(
+            follow_jsonl(
+                path, poll_s=0.01, complete=done.is_set, timeout_s=30
+            )
+        )
+        thread.join()
+        assert records == [{"i": i} for i in range(20)]
+
+    def test_partial_line_is_held_back_until_terminated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write('{"i": 0}\n{"i": 1')  # second record mid-write
+            handle.flush()
+        stream = follow_jsonl(path, poll_s=0.01, timeout_s=30)
+        assert next(stream) == {"i": 0}
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("}\n")
+        assert next(stream) == {"i": 1}
+        stream.close()
+
+    def test_follows_a_real_telemetry_writer(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = TelemetryWriter(path, command="test")
+        writer.write({"k": "row", "row": {"x": 1}})
+        writer.summary({"rows": 1})
+        writer.close()
+        kinds = [
+            record["k"]
+            for record in follow_jsonl(path, complete=lambda: True)
+        ]
+        assert kinds == ["header", "row", "summary"]
+
+
+class TestStopAndFailure:
+    def test_stop_event_returns_immediately(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_lines(path, [{"i": 0}])
+        stop = threading.Event()
+        stop.set()
+        assert list(follow_jsonl(path, stop=stop)) == []
+
+    def test_timeout_raises_instead_of_truncating(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_lines(path, [{"i": 0}])
+        stream = follow_jsonl(path, poll_s=0.01, timeout_s=0.05)
+        assert next(stream) == {"i": 0}
+        with pytest.raises(ConfigurationError, match="timed out"):
+            next(stream)
+
+    def test_corrupt_json_names_the_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"i": 0}\nnot json\n', encoding="utf-8")
+        stream = follow_jsonl(path, complete=lambda: True)
+        assert next(stream) == {"i": 0}
+        with pytest.raises(ConfigurationError, match="line 2"):
+            next(stream)
+
+    def test_non_object_records_are_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("[1, 2]\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            next(follow_jsonl(path, complete=lambda: True))
