@@ -37,7 +37,7 @@ from typing import Sequence
 
 from . import __version__
 from .analysis.tables import format_table
-from .errors import ConfigurationError
+from .errors import ConfigurationError, ReproError
 from .faults.plan import FaultPlan, load_fault_plan
 from .coloring.baselines import greedy_coloring
 from .coloring.estimation import estimate_degrees
@@ -197,10 +197,18 @@ def _cmd_color(args: argparse.Namespace) -> int:
         print(f"cannot load fault plan: {failure}", file=sys.stderr)
         return 2
     telemetry = _telemetry_from(args, "color")
-    result, auditor = run_mw_coloring_audited(
-        deployment, params, seed=args.seed, channel=args.channel,
-        resolver=args.resolver, telemetry=telemetry, faults=plan,
-    )
+    try:
+        result, auditor = run_mw_coloring_audited(
+            deployment, params, seed=args.seed, channel=args.channel,
+            resolver=args.resolver, telemetry=telemetry, faults=plan,
+        )
+    except ConfigurationError:
+        raise
+    except ReproError as failure:
+        # the CLI boundary contract (ERR003): only ConfigurationError
+        # escapes a handler — domain failures triggered by CLI inputs
+        # are configuration problems by the time they reach a user
+        raise ConfigurationError(f"color run failed: {failure}") from failure
     row = result.summary()
     row["audit_violations"] = len(auditor.violations)
     print(format_table(
@@ -229,9 +237,16 @@ def _cmd_mac(args: argparse.Namespace) -> int:
     graph = UnitDiskGraph(deployment.positions, params.r_t)
     rows = []
     for k in (1.0, 2.0, params.mac_distance + 1):
-        coloring = greedy_coloring(power_graph(graph, k))
-        schedule = TDMASchedule(coloring)
-        report = verify_tdma_broadcast(graph, schedule, params)
+        try:
+            coloring = greedy_coloring(power_graph(graph, k))
+            schedule = TDMASchedule(coloring)
+            report = verify_tdma_broadcast(graph, schedule, params)
+        except ReproError as failure:
+            # ERR003 boundary contract: translate domain failures on
+            # CLI-provided deployments into ConfigurationError
+            raise ConfigurationError(
+                f"TDMA audit failed at distance-{k:g}: {failure}"
+            ) from failure
         rows.append(
             {
                 "coloring": f"distance-{k:g}",
@@ -260,8 +275,14 @@ def _cmd_srs(args: argparse.Namespace) -> int:
     if not graph.is_connected():
         print("deployment is disconnected; pick another seed", file=sys.stderr)
         return 2
-    coloring = greedy_coloring(power_graph(graph, params.mac_distance + 1))
-    schedule = TDMASchedule(coloring)
+    try:
+        coloring = greedy_coloring(power_graph(graph, params.mac_distance + 1))
+        schedule = TDMASchedule(coloring)
+    except ReproError as failure:
+        # ERR003 boundary contract: only ConfigurationError escapes
+        raise ConfigurationError(
+            f"cannot build the SRS schedule: {failure}"
+        ) from failure
     simulated = _SRS_WORKLOADS[args.algorithm](graph.n)
     try:
         plan = _faults_from(args)
@@ -269,13 +290,21 @@ def _cmd_srs(args: argparse.Namespace) -> int:
         print(f"cannot load fault plan: {failure}", file=sys.stderr)
         return 2
     telemetry = _telemetry_from(args, "srs")
-    report = simulate_uniform_algorithm(
-        graph, simulated, schedule, params, max_rounds=args.max_rounds,
-        telemetry=telemetry, faults=plan, fault_seed=args.seed,
-        resolver=args.resolver,
-    )
-    native = _SRS_WORKLOADS[args.algorithm](graph.n)
-    native_report = run_uniform_rounds(graph, native, max_rounds=args.max_rounds)
+    try:
+        report = simulate_uniform_algorithm(
+            graph, simulated, schedule, params, max_rounds=args.max_rounds,
+            telemetry=telemetry, faults=plan, fault_seed=args.seed,
+            resolver=args.resolver,
+        )
+        native = _SRS_WORKLOADS[args.algorithm](graph.n)
+        native_report = run_uniform_rounds(
+            graph, native, max_rounds=args.max_rounds
+        )
+    except ConfigurationError:
+        raise
+    except ReproError as failure:
+        # ERR003 boundary contract: only ConfigurationError escapes
+        raise ConfigurationError(f"SRS simulation failed: {failure}") from failure
     row = {
         "algorithm": args.algorithm,
         "native_rounds": native_report.rounds,
@@ -742,10 +771,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``ConfigurationError`` is the one exception command handlers may
+    let escape (the ERR003 boundary contract, enforced by
+    ``repro lint --deep``); it surfaces as a one-line message and exit
+    code 2 instead of a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as failure:
+        print(f"repro: {failure}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

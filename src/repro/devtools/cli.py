@@ -4,25 +4,48 @@ Also runnable standalone (``python tools/lint.py`` or
 ``python -m repro.devtools.cli``) so the gate works in checkouts where
 the package is not installed.  Exit codes: 0 clean, 1 findings, 2 usage
 error (unknown rule code, missing path).
+
+``--deep`` adds the whole-program pass (:mod:`repro.devtools.xprogram`)
+on top of the per-file rules: the import/call graph is always built
+over the full program, but ``--select``/``--ignore`` pick rules from
+either registry and ``--changed-only`` narrows the *reported* findings
+to files touched in the working tree.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pathlib
+import subprocess
 import sys
 from typing import Sequence
 
-from .framework import all_rules, lint_paths
+from .framework import (
+    PARSE_ERROR,
+    RULE_ERROR,
+    LintReport,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+)
+from .xprogram import all_deep_rules, deep_codes, deep_lint
 
 __all__ = ["add_lint_arguments", "build_parser", "main", "run_lint"]
 
 #: Directories linted when none are named (the gate's default surface).
 DEFAULT_PATHS = ("src", "tools", "benchmarks")
 
+_EPILOG = (
+    "exit codes: 0 = clean, 1 = findings (after --baseline subtraction), "
+    "2 = usage error (unknown rule code, missing path, unreadable "
+    "baseline, or git failure under --changed-only)"
+)
+
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the ``lint`` arguments (shared with the ``repro`` CLI)."""
+    parser.epilog = _EPILOG
     parser.add_argument(
         "paths",
         nargs="*",
@@ -49,6 +72,32 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule codes to skip",
     )
     parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program rules (concurrency, RNG taint, "
+        "boundary exception flow, API drift; docs/STATIC_ANALYSIS.md)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report findings only for files changed in the git working "
+        "tree (diff against HEAD plus untracked files); the deep pass "
+        "still analyses the whole program",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="append a per-rule wall-time table to the human report "
+        "(included under 'timings' in --format json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="JSON report (same shape as --format json) whose findings "
+        "are subtracted before the exit code is decided",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -73,39 +122,190 @@ def _codes(raw: str | None) -> list[str] | None:
 
 
 def _default_paths() -> list[str]:
-    import pathlib
-
     present = [path for path in DEFAULT_PATHS if pathlib.Path(path).is_dir()]
     return present or ["."]
 
 
+def _changed_relpaths(root: pathlib.Path) -> set[str]:
+    """Working-tree changes vs HEAD plus untracked files, root-relative."""
+    changed: set[str] = set()
+    for command in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            command, cwd=root, capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{' '.join(command)} failed: {proc.stderr.strip()}"
+            )
+        changed.update(line for line in proc.stdout.splitlines() if line)
+    return changed
+
+
+def _relpath(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _subtract_baseline(
+    findings: list, baseline_file: str
+) -> tuple[list, int]:
+    """Findings minus the baseline's (multiset, exact-match) entries."""
+    data = json.loads(pathlib.Path(baseline_file).read_text(encoding="utf-8"))
+    budget: dict[str, int] = {}
+    for entry in data.get("findings", []):
+        key = json.dumps(entry, sort_keys=True)
+        budget[key] = budget.get(key, 0) + 1
+    kept = []
+    matched = 0
+    for finding in findings:
+        key = json.dumps(finding.to_json(), sort_keys=True)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            kept.append(finding)
+    return kept, matched
+
+
+def _list_rules(deep: bool) -> int:
+    for item in all_rules():
+        print(f"{item.code}  {item.name}")
+        print(f"        {item.rationale}")
+    if deep:
+        for deep_item in all_deep_rules():
+            codes = "/".join(deep_item.codes)
+            print(f"{codes}  {deep_item.name}  [whole-program]")
+            print(f"        {deep_item.rationale}")
+    return 0
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a parsed ``lint`` invocation; returns the exit code."""
+    deep = getattr(args, "deep", False)
     if args.list_rules:
-        for item in all_rules():
-            print(f"{item.code}  {item.name}")
-            print(f"        {item.rationale}")
-        return 0
+        return _list_rules(deep)
+
+    select = _codes(args.select)
+    ignore = _codes(args.ignore)
+    file_known = {item.code for item in all_rules()} | {
+        PARSE_ERROR,
+        RULE_ERROR,
+    }
+    deep_known = (deep_codes() | {RULE_ERROR}) if deep else set()
+    for requested in (select or []) + (ignore or []):
+        if requested not in file_known | deep_known:
+            hint = "" if deep else " (is it a --deep rule?)"
+            print(
+                f"repro lint: unknown rule code {requested!r}{hint}",
+                file=sys.stderr,
+            )
+            return 2
+
+    def _partition(codes: list[str] | None, known: set[str]) -> list[str]:
+        return [code for code in codes or [] if code in known]
+
+    root = pathlib.Path.cwd()
+    timings: dict[str, float] | None = {} if args.stats else None
+
     try:
-        report = lint_paths(
-            args.paths or _default_paths(),
-            select=_codes(args.select),
-            ignore=_codes(args.ignore),
-        )
+        changed = _changed_relpaths(root) if args.changed_only else None
+    except RuntimeError as failure:
+        print(f"repro lint: {failure}", file=sys.stderr)
+        return 2
+
+    findings = []
+    files = 0
+    suppressed = 0
+    try:
+        file_select = _partition(select, file_known)
+        if select is None or file_select:
+            paths = [
+                pathlib.Path(p) for p in (args.paths or _default_paths())
+            ]
+            targets: Sequence[pathlib.Path] = iter_python_files(paths)
+            if changed is not None:
+                targets = [
+                    path
+                    for path in targets
+                    if _relpath(path, root) in changed
+                ]
+            report = lint_paths(
+                targets,
+                root=root,
+                select=file_select or None,
+                ignore=_partition(ignore, file_known) or None,
+                timings=timings,
+            )
+            findings.extend(report.findings)
+            files = report.files
+            suppressed += report.suppressed
+        deep_select = _partition(select, deep_known)
+        if deep and (select is None or deep_select):
+            deep_report = deep_lint(
+                root=root,
+                select=deep_select or None,
+                ignore=_partition(ignore, deep_known) or None,
+                timings=timings,
+            )
+            deep_findings = deep_report.findings
+            if changed is not None:
+                deep_findings = [
+                    finding
+                    for finding in deep_findings
+                    if finding.path in changed
+                ]
+            findings.extend(deep_findings)
+            files = max(files, deep_report.files)
+            suppressed += deep_report.suppressed
     except (ValueError, FileNotFoundError) as failure:
         print(f"repro lint: {failure}", file=sys.stderr)
         return 2
 
+    baselined = 0
+    if args.baseline is not None:
+        try:
+            findings, baselined = _subtract_baseline(findings, args.baseline)
+        except (OSError, json.JSONDecodeError) as failure:
+            print(
+                f"repro lint: cannot read baseline {args.baseline!r}: "
+                f"{failure}",
+                file=sys.stderr,
+            )
+            return 2
+
+    report = LintReport(
+        findings=sorted(findings), files=files, suppressed=suppressed
+    )
     if args.format == "json":
-        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        payload = report.to_json()
+        if baselined:
+            payload["baselined"] = baselined
+        if timings is not None:
+            payload["timings"] = {
+                code: round(seconds, 6) for code, seconds in timings.items()
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for finding in report.findings:
             print(finding.render())
         summary = (
             f"{len(report.findings)} finding(s) in {report.files} file(s)"
-            f" ({report.suppressed} suppressed)"
+            f" ({report.suppressed} suppressed"
+            + (f", {baselined} baselined" if baselined else "")
+            + ")"
         )
         print(("" if report.clean else "\n") + summary)
+        if timings is not None:
+            print("\nrule timings:")
+            for code, seconds in sorted(
+                timings.items(), key=lambda item: -item[1]
+            ):
+                print(f"  {code:<8} {seconds * 1000:9.1f} ms")
     return 0 if report.clean else 1
 
 

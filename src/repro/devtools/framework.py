@@ -23,6 +23,7 @@ import ast
 import dataclasses
 import pathlib
 import re
+import time
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator, Sequence
 
@@ -201,8 +202,13 @@ def lint_file(
     path: pathlib.Path,
     root: pathlib.Path,
     rules: Iterable[Rule] | None = None,
+    timings: dict[str, float] | None = None,
 ) -> tuple[list[Finding], int]:
-    """Lint one file; returns ``(findings, suppressed_count)``."""
+    """Lint one file; returns ``(findings, suppressed_count)``.
+
+    When ``timings`` is given, each rule's wall time is accumulated into
+    it under the rule's code (the ``repro lint --stats`` table).
+    """
     try:
         relpath = path.resolve().relative_to(root.resolve()).as_posix()
     except ValueError:
@@ -221,6 +227,7 @@ def lint_file(
             )
         )
     for item in all_rules() if rules is None else rules:
+        started = time.perf_counter()
         try:
             raw.extend(item.check(ctx))
         except Exception as failure:  # a broken rule must not mask others
@@ -233,6 +240,10 @@ def lint_file(
                     message=f"rule {item.code} crashed: "
                     f"{type(failure).__name__}: {failure}",
                 )
+            )
+        if timings is not None:
+            timings[item.code] = (
+                timings.get(item.code, 0.0) + time.perf_counter() - started
             )
 
     kept: list[Finding] = []
@@ -268,6 +279,7 @@ def lint_paths(
     root: str | pathlib.Path | None = None,
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
+    timings: dict[str, float] | None = None,
 ) -> LintReport:
     """Lint files and directories; the library entry point behind the CLI."""
     base = pathlib.Path(root) if root is not None else pathlib.Path.cwd()
@@ -276,7 +288,7 @@ def lint_paths(
     findings: list[Finding] = []
     suppressed = 0
     for path in files:
-        file_findings, file_suppressed = lint_file(path, base, rules)
+        file_findings, file_suppressed = lint_file(path, base, rules, timings)
         findings.extend(file_findings)
         suppressed += file_suppressed
     findings.sort()

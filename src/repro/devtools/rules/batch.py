@@ -18,8 +18,6 @@ from typing import Iterator
 from ..findings import Finding
 from ..framework import FileContext, Rule, rule
 
-__all__ = ["BatchStreamsFromPlanner"]
-
 #: Stream-construction entry points that may only appear in the planner.
 _STREAM_BUILDERS = frozenset(
     {"rng_from_seed", "spawn_generators", "default_rng", "SeedSequence"}

@@ -18,8 +18,6 @@ from typing import Iterator
 from ..findings import Finding
 from ..framework import FileContext, Rule, rule
 
-__all__ = ["ExperimentExports", "RunDelegatesToUnits", "RunUnitsSignatureParity"]
-
 _REQUIRED = ("GRID", "TITLE", "COLUMNS", "units", "run", "check")
 
 

@@ -16,13 +16,6 @@ from typing import Iterator
 from ..findings import Finding
 from ..framework import FileContext, Rule, dotted_name, rule
 
-__all__ = [
-    "BanEnvironReads",
-    "BanPopitem",
-    "BanSetIteration",
-    "BanWallClock",
-]
-
 _CLOCK_ATTRS = frozenset(
     {
         "time",
@@ -55,15 +48,17 @@ class BanWallClock(Rule):
     name = "no wall-clock reads outside telemetry"
     rationale = (
         "clock reads differ run to run; outside telemetry/, service/, "
-        "benchmarks/ and tools/ they are either dead or a nondeterminism "
-        "leak — profiling hooks elsewhere must carry a justified noqa"
+        "devtools/, benchmarks/ and tools/ they are either dead or a "
+        "nondeterminism leak — profiling hooks elsewhere must carry a "
+        "justified noqa"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         # service/ is a documented boundary exemption: job timestamps and
         # stream deadlines are operational provenance for API clients,
-        # never inputs to experiment rows (docs/STATIC_ANALYSIS.md)
-        if ctx.within("telemetry", "service", "benchmarks", "tools"):
+        # never inputs to experiment rows; devtools/ times its own lint
+        # rules for `repro lint --stats` (docs/STATIC_ANALYSIS.md)
+        if ctx.within("telemetry", "service", "devtools", "benchmarks", "tools"):
             return
         from_time = _names_imported_from_time(ctx)
         for node in ctx.walk():

@@ -14,8 +14,6 @@ from typing import Iterator
 from ..findings import Finding
 from ..framework import FileContext, Rule, rule
 
-__all__ = ["NoBareExcept", "NoSwallowedBroadExcept"]
-
 _BROAD = ("Exception", "BaseException")
 
 

@@ -18,8 +18,6 @@ from typing import Iterator
 from ..findings import Finding
 from ..framework import FileContext, Rule, rule
 
-__all__ = ["FaultModelsCentralised"]
-
 #: Protocol packages where delivery-mutating channel wrappers are banned.
 _PROTOCOL_PACKAGES = ("coloring", "sinr", "simulation", "mac")
 

@@ -15,8 +15,6 @@ from typing import Iterator
 from ..findings import Finding
 from ..framework import FileContext, Rule, dotted_name, rule
 
-__all__ = ["BanStdlibRandom", "BanGlobalNumpyRandom", "RngConstructionSite"]
-
 #: ``np.random`` attributes that are generator *types/constructors*, not
 #: module-level global-state draws.  Constructors are RNG003's business.
 _CONSTRUCTORS = frozenset(

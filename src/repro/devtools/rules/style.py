@@ -12,8 +12,6 @@ from typing import Iterator
 from ..findings import Finding
 from ..framework import FileContext, Rule, rule
 
-__all__ = ["RequireFutureAnnotations"]
-
 
 @rule
 class RequireFutureAnnotations(Rule):

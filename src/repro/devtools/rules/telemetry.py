@@ -16,8 +16,6 @@ from typing import Iterator
 from ..findings import Finding
 from ..framework import FileContext, Rule, rule
 
-__all__ = ["SchemaStringsCentralised"]
-
 _SCHEMA_SHAPE = re.compile(r"repro\.[a-z_]+/[0-9]+")
 
 

@@ -1,0 +1,169 @@
+"""Whole-program analysis behind ``repro lint --deep``.
+
+The per-file rules in :mod:`repro.devtools.rules` inspect one AST at a
+time; the rules here inspect the *program* — a
+:class:`~repro.devtools.xprogram.graph.ProgramContext` holding every
+module of the shipped package(s) plus a conservative call graph — and
+catch what no single file can show: an unlocked cross-thread write
+(``CCY001``–``CCY003``), a generator smuggled through a module global
+or a closure (``RNG004``–``RNG005``), a foreign exception escaping a
+CLI or service boundary (``ERR003``), and drift between ``docs/API.md``
+and the exported surface (``API001``–``API002``).
+
+The machinery mirrors the per-file framework deliberately: stable
+codes, a decorator registry, :class:`~repro.devtools.findings.Finding`
+output, ``# repro: noqa[CODE]`` suppression on the flagged line, and an
+``LNT002``-style crash guard so one broken analysis cannot mask the
+others.  Rules never import the code they inspect.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import time
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+from ..findings import Finding
+from ..framework import LintReport, RULE_ERROR
+from .graph import ProgramContext
+
+__all__ = [
+    "DeepRule",
+    "ProgramContext",
+    "all_deep_rules",
+    "deep_codes",
+    "deep_lint",
+    "deep_rule",
+]
+
+
+class DeepRule(ABC):
+    """One whole-program invariant: stable code, rationale, program check."""
+
+    #: Stable identifier (``ABC123``) used in reports and suppressions.
+    code: str = ""
+    #: Short human name shown by ``repro lint --list-rules``.
+    name: str = ""
+    #: One-sentence justification (the long form lives in the docs).
+    rationale: str = ""
+
+    #: Further codes the same analysis emits (one pass, one family).
+    extra_codes: tuple[str, ...] = ()
+
+    @property
+    def codes(self) -> tuple[str, ...]:
+        """Every code this rule may emit (primary first)."""
+        return (self.code, *self.extra_codes)
+
+    @abstractmethod
+    def check(self, program: ProgramContext) -> Iterator[Finding]:
+        """Yield findings for the whole program (no imports, no execution)."""
+
+    def finding(self, relpath: str, line: int, col: int, message: str) -> Finding:
+        """A finding of this rule at an explicit location."""
+        return Finding(
+            path=relpath, line=line, col=col + 1, code=self.code, message=message
+        )
+
+
+_DEEP_REGISTRY: dict[str, DeepRule] = {}
+_CODE_RE = re.compile(r"^[A-Z]{3}[0-9]{3}$")
+
+
+def deep_rule(cls: type[DeepRule]) -> type[DeepRule]:
+    """Class decorator: instantiate and register a deep rule by its code."""
+    if not _CODE_RE.match(cls.code):
+        raise ValueError(f"rule code must look like ABC123, got {cls.code!r}")
+    if cls.code in _DEEP_REGISTRY:
+        raise ValueError(f"duplicate deep rule code {cls.code}")
+    _DEEP_REGISTRY[cls.code] = cls()
+    return cls
+
+
+def all_deep_rules() -> tuple[DeepRule, ...]:
+    """Every registered deep rule, sorted by code (loads the analyses)."""
+    from . import api_drift, boundary, concurrency, taint  # registration
+
+    assert (api_drift, boundary, concurrency, taint) is not None
+    return tuple(_DEEP_REGISTRY[code] for code in sorted(_DEEP_REGISTRY))
+
+
+def deep_codes() -> frozenset[str]:
+    """The codes the deep pass owns (for CLI select/ignore partitioning)."""
+    return frozenset(
+        code for item in all_deep_rules() for code in item.codes
+    )
+
+
+def deep_lint(
+    root: str | pathlib.Path | None = None,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    timings: dict[str, float] | None = None,
+) -> LintReport:
+    """Run the whole-program pass; the library entry behind ``--deep``.
+
+    ``root`` is the repository root (default: the working directory);
+    packages are discovered under ``<root>/src``.  ``select``/``ignore``
+    take deep rule codes only — the CLI partitions mixed code lists.
+    Unknown codes raise ``ValueError``, mirroring ``lint_paths``.
+    """
+    base = pathlib.Path(root) if root is not None else pathlib.Path.cwd()
+    rules = all_deep_rules()
+    known = deep_codes() | {RULE_ERROR}
+    for requested in list(select or ()) + list(ignore or ()):
+        if requested not in known:
+            raise ValueError(f"unknown rule code {requested!r}")
+    selected = frozenset(select or ())
+    ignored = frozenset(ignore or ())
+    if selected:
+        rules = tuple(
+            item for item in rules if selected & frozenset(item.codes)
+        )
+    if ignored:
+        rules = tuple(
+            item for item in rules if frozenset(item.codes) - ignored
+        )
+
+    program = ProgramContext.build(base)
+    raw: list[Finding] = []
+    for item in rules:
+        began = time.perf_counter()
+        try:
+            raw.extend(item.check(program))
+        except Exception as failure:  # a broken analysis must not mask others
+            raw.append(
+                Finding(
+                    path=".",
+                    line=1,
+                    col=1,
+                    code=RULE_ERROR,
+                    message=f"deep rule {item.code} crashed: "
+                    f"{type(failure).__name__}: {failure}",
+                )
+            )
+        if timings is not None:
+            elapsed = time.perf_counter() - began
+            timings[item.code] = timings.get(item.code, 0.0) + elapsed
+
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        if finding.code != RULE_ERROR:
+            if selected and finding.code not in selected:
+                continue
+            if finding.code in ignored:
+                continue
+        module = program.by_relpath.get(finding.path)
+        if module is not None and finding.code in module.ctx.suppressed_codes(
+            finding.line
+        ):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort()
+    return LintReport(
+        findings=kept, files=len(program.modules), suppressed=suppressed
+    )

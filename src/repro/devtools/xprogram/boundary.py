@@ -1,0 +1,418 @@
+"""Boundary exception-flow analysis: ERR003.
+
+The two process boundaries have a contract the per-file rules cannot
+check: a **CLI command handler** may let only
+:class:`~repro.errors.ConfigurationError` escape (``main`` turns it
+into exit code 2; anything else is a traceback dumped on a user), and a
+**service route handler** may let only ``ServiceError`` (carrying its
+HTTP status) or ``ConfigurationError`` (→ 400) escape — anything else
+becomes an anonymous 500.
+
+The analysis walks the conservative call graph from the entry points —
+functions registered via ``parser.set_defaults(func=...)`` in
+``<pkg>.cli`` and handlers referenced in the ``ROUTES`` table of
+``<pkg>.service.routes`` — and computes, to fixpoint, the set of
+exception types each function can let escape: explicit ``raise``
+statements plus everything its resolvable callees escape, minus what
+enclosing ``try``/``except`` blocks discharge (subclass-aware, using
+the program's own class hierarchy for ``ReproError`` and a builtin
+table for stdlib exceptions).  Each finding prints the propagation
+chain from the raise site back to the boundary.
+
+Deliberate scope cuts (documented in docs/STATIC_ANALYSIS.md): calls
+the resolver cannot see contribute nothing (methods on arbitrary
+objects — so a handler calling ``app.manager.submit`` leans on
+``dispatch``'s catch-all, which is exactly what ``ServiceApp.handle``
+provides); ``KeyboardInterrupt``/``SystemExit``/``GeneratorExit``/
+``StopIteration`` are control flow, not contract violations.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..findings import Finding
+from ..framework import dotted_name
+from . import DeepRule, deep_rule
+from .graph import FunctionInfo, ProgramContext
+
+#: Escapes never reported: flow control and interpreter shutdown.
+_IGNORED = frozenset(
+    {"KeyboardInterrupt", "SystemExit", "GeneratorExit", "StopIteration"}
+)
+
+#: builtin exception → ancestry (module classes resolve via their bases).
+_BUILTIN_BASES: dict[str, tuple[str, ...]] = {
+    "ArithmeticError": ("Exception",),
+    "AssertionError": ("Exception",),
+    "AttributeError": ("Exception",),
+    "Exception": (),
+    "FileExistsError": ("OSError", "Exception"),
+    "FileNotFoundError": ("OSError", "Exception"),
+    "IndexError": ("LookupError", "Exception"),
+    "KeyError": ("LookupError", "Exception"),
+    "LookupError": ("Exception",),
+    "NotImplementedError": ("RuntimeError", "Exception"),
+    "OSError": ("Exception",),
+    "OverflowError": ("ArithmeticError", "Exception"),
+    "PermissionError": ("OSError", "Exception"),
+    "RuntimeError": ("Exception",),
+    "TimeoutError": ("OSError", "Exception"),
+    "TypeError": ("Exception",),
+    "ValueError": ("Exception",),
+    "ZeroDivisionError": ("ArithmeticError", "Exception"),
+}
+
+_Chain = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _Event:
+    """A raise or a resolvable call, with its enclosing except guards."""
+
+    kind: str  # "raise" | "call"
+    target: str  # exception name | callee qualname
+    node: ast.AST
+    guards: tuple[frozenset[str], ...]
+
+
+class _Hierarchy:
+    """Subclass-aware ``except`` matching over program + builtin classes."""
+
+    def __init__(self, program: ProgramContext) -> None:
+        self.program = program
+        self._ancestors: dict[str, frozenset[str]] = {}
+
+    def ancestors(self, exc: str) -> frozenset[str]:
+        """Every name (qualname or basename) ``exc`` is an instance of."""
+        cached = self._ancestors.get(exc)
+        if cached is not None:
+            return cached
+        self._ancestors[exc] = frozenset({exc})  # cycle guard
+        names = {exc, exc.rsplit(".", 1)[-1]}
+        cls = self.program.classes.get(exc)
+        if cls is not None:
+            mod = cls.module
+            for base in cls.bases:
+                resolved = self.program.resolve_dotted(mod, base)
+                if resolved is not None and resolved[0] == "symbol":
+                    names |= self.ancestors(resolved[1])
+                else:
+                    names |= self.ancestors(base.rsplit(".", 1)[-1])
+        else:
+            base_name = exc.rsplit(".", 1)[-1]
+            for ancestor in _BUILTIN_BASES.get(base_name, ("Exception",)):
+                names |= self.ancestors(ancestor)
+        result = frozenset(names)
+        self._ancestors[exc] = result
+        return result
+
+    def catches(self, handler: str, exc: str) -> bool:
+        handler_base = handler.rsplit(".", 1)[-1]
+        if handler_base == "BaseException":
+            return True
+        if handler_base == "Exception":
+            return exc.rsplit(".", 1)[-1] not in (
+                "KeyboardInterrupt", "SystemExit", "BaseException"
+            )
+        return handler_base in {
+            name.rsplit(".", 1)[-1] for name in self.ancestors(exc)
+        } or handler in self.ancestors(exc)
+
+    def guarded(self, exc: str, guards: tuple[frozenset[str], ...]) -> bool:
+        return any(
+            self.catches(handler, exc)
+            for frame in guards
+            for handler in frame
+        )
+
+
+class _EventCollector:
+    """Raise/call events of one function body, with except guards."""
+
+    def __init__(self, program: ProgramContext, info: FunctionInfo) -> None:
+        self.program = program
+        self.info = info
+        self.events: list[_Event] = []
+
+    def collect(self) -> list[_Event]:
+        self._block(self.info.node.body, guards=(), caught={})
+        return self.events
+
+    def _handler_types(self, handler: ast.ExceptHandler) -> frozenset[str]:
+        if handler.type is None:
+            return frozenset({"BaseException"})
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        names = set()
+        for node in types:
+            name = dotted_name(node)
+            if name is None:
+                continue
+            resolved = self.program.resolve_dotted(self.info.module, name)
+            if resolved is not None and resolved[0] == "symbol":
+                names.add(resolved[1])
+            else:
+                names.add(name.rsplit(".", 1)[-1])
+        return frozenset(names) or frozenset({"BaseException"})
+
+    def _resolve_exc(self, node: ast.expr) -> str | None:
+        name = dotted_name(
+            node.func if isinstance(node, ast.Call) else node
+        )
+        if name is None:
+            return None
+        resolved = self.program.resolve_dotted(self.info.module, name)
+        if resolved is not None and resolved[0] == "symbol":
+            return resolved[1]
+        base = name.rsplit(".", 1)[-1]
+        if base in _BUILTIN_BASES or base.endswith("Error") or base.endswith(
+            "Exception"
+        ):
+            return base
+        return None
+
+    def _block(
+        self,
+        stmts: list[ast.stmt],
+        guards: tuple[frozenset[str], ...],
+        caught: dict[str, frozenset[str]],
+    ) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, guards, caught)
+
+    def _stmt(
+        self,
+        stmt: ast.stmt,
+        guards: tuple[frozenset[str], ...],
+        caught: dict[str, frozenset[str]],
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes raise only when separately invoked
+        if isinstance(stmt, ast.Raise):
+            self._raise(stmt, guards, caught)
+            self._exprs(stmt, guards)
+            return
+        if isinstance(stmt, ast.Try):
+            handler_types = [self._handler_types(h) for h in stmt.handlers]
+            inner = guards + tuple(handler_types)
+            self._block(stmt.body, inner, caught)
+            self._block(stmt.orelse, inner, caught)
+            for handler, types in zip(stmt.handlers, handler_types):
+                handler_caught = dict(caught)
+                if handler.name is not None:
+                    handler_caught[handler.name] = types
+                self._handler_block(handler.body, guards, handler_caught, types)
+            self._block(stmt.finalbody, guards, caught)
+            return
+        for field_name in ("body", "orelse", "finalbody"):
+            inner_stmts = getattr(stmt, field_name, None)
+            if isinstance(inner_stmts, list) and inner_stmts and isinstance(
+                inner_stmts[0], ast.stmt
+            ):
+                self._block(inner_stmts, guards, caught)
+        self._exprs(stmt, guards)
+
+    def _handler_block(
+        self,
+        stmts: list[ast.stmt],
+        guards: tuple[frozenset[str], ...],
+        caught: dict[str, frozenset[str]],
+        active: frozenset[str],
+    ) -> None:
+        # a bare ``raise`` in this block re-raises the active types
+        for stmt in stmts:
+            if isinstance(stmt, ast.Raise) and stmt.exc is None:
+                for exc in active:
+                    self.events.append(_Event("raise", exc, stmt, guards))
+            else:
+                self._stmt(stmt, guards, caught)
+
+    def _raise(
+        self,
+        stmt: ast.Raise,
+        guards: tuple[frozenset[str], ...],
+        caught: dict[str, frozenset[str]],
+    ) -> None:
+        if stmt.exc is None:
+            return  # bare raise outside a known handler: nothing to name
+        if isinstance(stmt.exc, ast.Name) and stmt.exc.id in caught:
+            for exc in caught[stmt.exc.id]:
+                self.events.append(_Event("raise", exc, stmt, guards))
+            return
+        exc = self._resolve_exc(stmt.exc)
+        if exc is not None:
+            self.events.append(_Event("raise", exc, stmt, guards))
+
+    def _exprs(
+        self, stmt: ast.stmt, guards: tuple[frozenset[str], ...]
+    ) -> None:
+        """Resolvable call events anywhere in the statement's expressions."""
+        queue: list[ast.AST] = [stmt]
+        while queue:
+            node = queue.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                     ast.ClassDef),
+                ):
+                    continue
+                if isinstance(child, ast.stmt):
+                    continue  # nested statements are handled by _block
+                if isinstance(child, ast.Call):
+                    target = self.program.resolve_call(
+                        self.info.module, self.info.cls, child
+                    )
+                    if target is not None:
+                        self.events.append(
+                            _Event("call", target, child, guards)
+                        )
+                queue.append(child)
+        return
+
+
+def _cli_entries(program: ProgramContext) -> dict[str, str]:
+    """qualname → 'CLI' for ``set_defaults(func=...)`` handlers."""
+    entries: dict[str, str] = {}
+    for mod in program.modules.values():
+        if not (mod.name.endswith(".cli") or mod.name == "cli"):
+            continue
+        if mod.ctx.tree is None:
+            continue
+        for node in ast.walk(mod.ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = dotted_name(node.func)
+            if func_name is None or not func_name.endswith(".set_defaults"):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg == "func" and isinstance(
+                    keyword.value, ast.Name
+                ):
+                    qualname = f"{mod.name}.{keyword.value.id}"
+                    if qualname in program.functions:
+                        entries[qualname] = "CLI"
+    return entries
+
+
+def _route_entries(program: ProgramContext) -> dict[str, str]:
+    """qualname → 'service route' for handlers in the ROUTES table."""
+    entries: dict[str, str] = {}
+    for mod in program.modules.values():
+        if not mod.name.endswith("service.routes"):
+            continue
+        routes = mod.assigns.get("ROUTES")
+        if routes is None or not isinstance(routes, ast.Assign):
+            continue
+        for node in ast.walk(routes.value):
+            if isinstance(node, ast.Name) and node.id in mod.defs:
+                qualname = f"{mod.name}.{node.id}"
+                if qualname in program.functions:
+                    entries[qualname] = "service route"
+        if f"{mod.name}.dispatch" in program.functions:
+            entries[f"{mod.name}.dispatch"] = "service route"
+    return entries
+
+
+@deep_rule
+class BoundaryExceptions(DeepRule):
+    code = "ERR003"
+    name = "foreign exception escapes a CLI or service-route boundary"
+    rationale = (
+        "the boundary contract is explicit: ConfigurationError at the "
+        "CLI (exit 2), ServiceError/ConfigurationError at routes (HTTP "
+        "status); anything else reaches users as a traceback or an "
+        "anonymous 500"
+    )
+
+    #: exception basenames allowed to escape, per boundary kind
+    allowed = {
+        "CLI": frozenset({"ConfigurationError"}),
+        "service route": frozenset({"ServiceError", "ConfigurationError"}),
+    }
+
+    def check(self, program: ProgramContext) -> Iterator[Finding]:
+        entries = dict(_cli_entries(program))
+        entries.update(_route_entries(program))
+        if not entries:
+            return
+        hierarchy = _Hierarchy(program)
+        escapes = self._escapes(program, hierarchy)
+
+        for qualname in sorted(entries):
+            kind = entries[qualname]
+            info = program.functions[qualname]
+            mod = program.modules[info.module]
+            allowed = self.allowed[kind]
+            for exc in sorted(escapes.get(qualname, {})):
+                base = exc.rsplit(".", 1)[-1]
+                if base in _IGNORED:
+                    continue
+                if any(
+                    hierarchy.catches(allowed_name, exc)
+                    for allowed_name in allowed
+                ):
+                    continue
+                chain = escapes[qualname][exc]
+                yield Finding(
+                    path=mod.ctx.relpath,
+                    line=info.node.lineno,
+                    col=info.node.col_offset + 1,
+                    code="ERR003",
+                    message=(
+                        f"`{base}` can escape the {kind} boundary "
+                        f"`{info.name}()` (allowed: "
+                        f"{', '.join(sorted(allowed))}); path: "
+                        f"{' -> '.join(chain)}; " + self.rationale
+                    ),
+                )
+
+    def _escapes(
+        self, program: ProgramContext, hierarchy: _Hierarchy
+    ) -> dict[str, dict[str, _Chain]]:
+        events = {
+            qualname: _EventCollector(program, info).collect()
+            for qualname, info in program.functions.items()
+        }
+        escapes: dict[str, dict[str, _Chain]] = {
+            qualname: {} for qualname in program.functions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname, fn_events in events.items():
+                mod = program.modules[program.functions[qualname].module]
+                for event in fn_events:
+                    loc = (
+                        f"{mod.ctx.relpath}:"
+                        f"{getattr(event.node, 'lineno', 1)}"
+                    )
+                    if event.kind == "raise":
+                        candidates = {
+                            event.target: (
+                                f"raise `{event.target.rsplit('.', 1)[-1]}` "
+                                f"at {loc}",
+                            )
+                        }
+                    else:
+                        candidates = {
+                            exc: chain + (f"through `{event.target}()` "
+                                          f"called at {loc}",)
+                            for exc, chain in escapes.get(
+                                event.target, {}
+                            ).items()
+                        }
+                    for exc, chain in candidates.items():
+                        if exc in escapes[qualname]:
+                            continue
+                        if hierarchy.guarded(exc, event.guards):
+                            continue
+                        escapes[qualname][exc] = chain
+                        changed = True
+        return escapes

@@ -1,0 +1,397 @@
+"""Lock-discipline analysis: CCY001–CCY003.
+
+Scope: every top-level class that spawns ``threading.Thread`` workers
+(the :class:`~repro.service.jobs.JobManager` pattern).  For such a
+class the analysis collects
+
+* **lock attributes** — ``self._x = threading.Lock()`` (also ``RLock``,
+  ``Condition``) assigned in ``__init__``;
+* **thread-safe attributes** — initialised from ``queue.Queue`` and
+  friends, or ``threading`` primitives; these are exempt;
+* **thread-side methods** — the ``target=self._m`` spawn targets plus
+  every method transitively reachable from them through ``self.*()``
+  calls; everything else is handler/main side;
+* **accesses** — every read, write and mutating container call on a
+  ``self.*`` attribute, tagged with whether a ``with self._lock:`` block
+  (or a lock-held caller, see below) covers it.
+
+``__init__`` runs before any thread exists, so its writes never count;
+a private method whose every call site is lock-held (or in
+``__init__``) is itself treated as lock-held — that is the fixpoint
+that keeps a ``_enqueue``-style helper, only ever called under the
+lock, clean without a suppression.
+
+An attribute is hazardous when it is accessed on **both** sides and
+written at least once after ``__init__``.  Then:
+
+* ``CCY002`` — some accesses hold a lock and this one does not
+  (inconsistent discipline: the lock is decoration, not protection);
+* ``CCY001`` — no access ever holds a lock: flagged at each write;
+* ``CCY003`` — same, flagged at each mutating container call
+  (``append``/``pop``/``update``/…), which readers easily mistake for
+  safe because no ``=`` appears.
+
+Known false negatives (documented in docs/STATIC_ANALYSIS.md): objects
+*stored in* a shared container and mutated after retrieval (the
+``JobRecord`` fields), threads spawned through executors or free
+functions, and locks passed in rather than owned.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..findings import Finding
+from ..framework import dotted_name
+from . import DeepRule, deep_rule
+from .graph import ProgramContext, ProgramModule
+
+#: ``with self.<attr>:`` guards (constructed in ``__init__``).
+_LOCK_TYPES = frozenset(
+    {"threading.Lock", "threading.RLock", "threading.Condition"}
+)
+
+#: Attribute types that are internally synchronised — exempt from tracking.
+_THREAD_SAFE_TYPES = frozenset(
+    {
+        "queue.Queue",
+        "queue.LifoQueue",
+        "queue.PriorityQueue",
+        "queue.SimpleQueue",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Barrier",
+        "threading.local",
+    }
+    | _LOCK_TYPES
+)
+
+#: Method calls that mutate the receiver in place.
+_MUTATORS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "pop", "popitem", "popleft", "remove", "reverse",
+        "setdefault", "sort", "update",
+    }
+)
+
+
+@dataclass(frozen=True)
+class _Access:
+    attr: str
+    kind: str  # "read" | "write" | "mutcall"
+    method: str
+    node: ast.AST
+    locked: bool
+
+
+@dataclass(frozen=True)
+class _SelfCall:
+    callee: str
+    method: str
+    locked: bool
+
+
+def _constructed(mod: ProgramModule, value: ast.expr) -> str | None:
+    """The dotted constructor a ``self.x = <Call>`` value resolves to."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = dotted_name(value.func)
+    if name is None:
+        return None
+    head = name.split(".", 1)[0]
+    target = mod.imports.get(head)
+    if target is not None and target != head:
+        return target + name[len(head):]
+    return name
+
+
+class _MethodScanner:
+    """Collect self-attribute accesses and self-calls for one method."""
+
+    def __init__(self, method: ast.FunctionDef | ast.AsyncFunctionDef,
+                 self_name: str, lock_attrs: frozenset[str]) -> None:
+        self.method = method
+        self.self_name = self_name
+        self.lock_attrs = lock_attrs
+        self.accesses: list[_Access] = []
+        self.calls: list[_SelfCall] = []
+
+    def scan(self) -> None:
+        for stmt in self.method.body:
+            self._visit(stmt, locked=False)
+
+    def _self_attr(self, node: ast.AST) -> str | None:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self.self_name
+        ):
+            return node.attr
+        return None
+
+    def _record(self, attr: str, kind: str, node: ast.AST, locked: bool) -> None:
+        if attr not in self.lock_attrs:
+            self.accesses.append(
+                _Access(attr, kind, self.method.name, node, locked)
+            )
+
+    def _visit(self, node: ast.AST, locked: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locked
+            for item in node.items:
+                attr = self._self_attr(item.context_expr)
+                if attr is not None and attr in self.lock_attrs:
+                    inner = True
+                else:
+                    self._visit(item.context_expr, locked)
+            for stmt in node.body:
+                self._visit(stmt, inner)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = self._self_attr(target)
+                if attr is not None:
+                    self._record(attr, "write", target, locked)
+                else:
+                    self._visit(target, locked)
+            if node.value is not None:
+                self._visit(node.value, locked)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = self._self_attr(target)
+                if attr is not None:
+                    self._record(attr, "write", target, locked)
+                else:
+                    self._visit(target, locked)
+            return
+        if isinstance(node, ast.Call):
+            handled_func = False
+            if isinstance(node.func, ast.Attribute):
+                attr = self._self_attr(node.func.value)
+                if attr is not None:
+                    # self._x.m(...): a mutation or a read of the attribute
+                    kind = (
+                        "mutcall" if node.func.attr in _MUTATORS else "read"
+                    )
+                    self._record(attr, kind, node.func.value, locked)
+                    handled_func = True
+                elif self._self_attr(node.func) is not None:
+                    # self.m(...): a self-call edge, not an attribute read
+                    self.calls.append(
+                        _SelfCall(node.func.attr, self.method.name, locked)
+                    )
+                    handled_func = True
+            if not handled_func:
+                self._visit(node.func, locked)
+            for arg in node.args:
+                self._visit(arg, locked)
+            for keyword in node.keywords:
+                self._visit(keyword.value, locked)
+            return
+        attr = self._self_attr(node)
+        if attr is not None:
+            self._record(attr, "read", node, locked)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, locked)
+
+
+def _thread_targets(
+    mod: ProgramModule, cls: ast.ClassDef
+) -> dict[str, ast.Call]:
+    """spawn-target method name → the ``threading.Thread(...)`` call."""
+    targets: dict[str, ast.Call] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Call):
+            continue
+        if _constructed(mod, node) != "threading.Thread":
+            continue
+        for keyword in node.keywords:
+            if keyword.arg != "target":
+                continue
+            value = keyword.value
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+            ):
+                targets[value.attr] = node
+    return targets
+
+
+@deep_rule
+class LockDiscipline(DeepRule):
+    code = "CCY001"
+    name = "unlocked cross-thread shared attribute (also CCY002/CCY003)"
+    rationale = (
+        "an attribute written on one thread and read on another without "
+        "the owning lock is a data race; the job service's records and "
+        "the cache index are exactly such state"
+    )
+
+    # One analysis emits all three codes; registering the family under
+    # CCY001 keeps select/ignore simple (CCY002/003 are still individually
+    # addressable because findings carry their own codes).
+    extra_codes = ("CCY002", "CCY003")
+
+    def check(self, program: ProgramContext) -> Iterator[Finding]:
+        for mod in program.modules.values():
+            if mod.ctx.tree is None:
+                continue
+            for node in mod.ctx.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(mod, node)
+
+    def _check_class(
+        self, mod: ProgramModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        spawns = _thread_targets(mod, cls)
+        if not spawns:
+            return
+
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        # attribute classification from __init__
+        lock_attrs: set[str] = set()
+        safe_attrs: set[str] = set()
+        init = methods.get("__init__")
+        if init is not None:
+            for stmt in ast.walk(init):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    ctor = _constructed(mod, stmt.value)
+                    if ctor in _LOCK_TYPES:
+                        lock_attrs.add(target.attr)
+                    elif ctor in _THREAD_SAFE_TYPES:
+                        safe_attrs.add(target.attr)
+
+        # per-method accesses and self-calls (``__init__`` is pre-thread)
+        accesses: list[_Access] = []
+        calls: list[_SelfCall] = []
+        for name, method in methods.items():
+            if name == "__init__" or not method.args.args:
+                continue
+            scanner = _MethodScanner(
+                method, method.args.args[0].arg, frozenset(lock_attrs)
+            )
+            scanner.scan()
+            accesses.extend(scanner.accesses)
+            calls.extend(scanner.calls)
+
+        # thread side: spawn targets plus transitive self-callees
+        thread_side = set(spawns)
+        grew = True
+        while grew:
+            grew = False
+            for call in calls:
+                if call.method in thread_side and call.callee not in thread_side:
+                    thread_side.add(call.callee)
+                    grew = True
+
+        # lock-held methods: private, called at least once, every call
+        # site lock-held (a call from ``__init__`` counts: pre-thread)
+        init_calls = set()
+        if init is not None:
+            for node in ast.walk(init):
+                if isinstance(node, ast.Call):
+                    direct = dotted_name(node.func)
+                    if direct is not None and direct.startswith("self."):
+                        init_calls.add(direct.split(".", 1)[1])
+        lock_held: set[str] = set()
+        grew = True
+        while grew:
+            grew = False
+            for name in methods:
+                if name in lock_held or not name.startswith("_"):
+                    continue
+                if name.startswith("__") or name in spawns:
+                    continue
+                sites = [call for call in calls if call.callee == name]
+                if not sites and name not in init_calls:
+                    continue
+                if all(
+                    site.locked or site.method in lock_held for site in sites
+                ):
+                    lock_held.add(name)
+                    grew = True
+
+        tracked: dict[str, list[_Access]] = {}
+        for access in accesses:
+            if access.attr in safe_attrs or not access.attr.startswith("_"):
+                continue
+            if access.attr.startswith("__"):
+                continue
+            effective = access.locked or access.method in lock_held
+            tracked.setdefault(access.attr, []).append(
+                _Access(
+                    access.attr, access.kind, access.method,
+                    access.node, effective,
+                )
+            )
+
+        lock_name = sorted(lock_attrs)[0] if lock_attrs else None
+        for attr in sorted(tracked):
+            sites = tracked[attr]
+            on_thread = [s for s in sites if s.method in thread_side]
+            on_main = [s for s in sites if s.method not in thread_side]
+            writes = [s for s in sites if s.kind in ("write", "mutcall")]
+            if not on_thread or not on_main or not writes:
+                continue
+            unlocked = [s for s in sites if not s.locked]
+            if not unlocked:
+                continue
+            locked_example = next((s for s in sites if s.locked), None)
+            for site in unlocked:
+                side = "worker-thread" if site.method in thread_side else "main"
+                other = on_main[0] if site.method in thread_side else on_thread[0]
+                if locked_example is not None:
+                    code, what = "CCY002", (
+                        f"`self.{attr}` is accessed without "
+                        f"`self.{lock_name}` in `{site.method}()` but "
+                        f"guarded at other sites (e.g. "
+                        f"`{locked_example.method}()`); inconsistent "
+                        f"locking protects nothing"
+                    )
+                elif site.kind == "mutcall":
+                    code, what = "CCY003", (
+                        f"unlocked mutation of `self.{attr}` in "
+                        f"`{site.method}()` ({side} side) races "
+                        f"`{other.method}()` on the other side; "
+                        f"`{cls.name}` holds no lock for it"
+                    )
+                elif site.kind == "write":
+                    code, what = "CCY001", (
+                        f"unlocked cross-thread write to `self.{attr}` in "
+                        f"`{site.method}()` ({side} side) races "
+                        f"`{other.method}()` on the other side; "
+                        f"`{cls.name}` holds no lock for it"
+                    )
+                else:
+                    # reads only matter when a write exists elsewhere;
+                    # the write site carries the finding
+                    continue
+                yield Finding(
+                    path=mod.ctx.relpath,
+                    line=getattr(site.node, "lineno", cls.lineno),
+                    col=getattr(site.node, "col_offset", 0) + 1,
+                    code=code,
+                    message=what + "; " + self.rationale,
+                )

@@ -1,0 +1,386 @@
+"""Whole-program view: modules, imports, and a conservative call graph.
+
+The per-file rules in :mod:`repro.devtools.rules` see one AST at a time;
+the deep rules (``repro lint --deep``) need to follow a value across a
+call boundary — a generator smuggled through a module global, a raise
+three calls below a service route.  :class:`ProgramContext` parses every
+module of the shipped package(s) once and resolves three things from
+the AST alone, without importing anything:
+
+* **module index** — dotted module name → parsed
+  :class:`~repro.devtools.framework.FileContext`;
+* **binding resolution** — what a local name in a module refers to,
+  following ``import``/``from``-import chains through re-exporting
+  ``__init__`` modules;
+* **call resolution** — the conservative call graph: direct calls of
+  module-level functions, calls through imported names and imported
+  modules, ``self.method()`` within a class, and class instantiation
+  (an edge to ``Class.__init__``).
+
+Conservatism contract: resolution never *guesses*.  A call that cannot
+be resolved syntactically (a method on an arbitrary object, a callback,
+a value out of a container) produces **no edge** — so the deep rules
+have false negatives, never false positives, from call-graph noise.
+The known blind spots are catalogued in docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+
+from ..framework import FileContext, dotted_name
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ProgramContext",
+    "ProgramModule",
+]
+
+#: Directory names never treated as package sources.
+_SKIP_PARTS = ("__pycache__",)
+
+
+def _is_source(path: pathlib.Path) -> bool:
+    return not any(
+        part.startswith(".") or part in _SKIP_PARTS or part.endswith(".egg-info")
+        for part in path.parts
+    )
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition, addressable by qualname."""
+
+    qualname: str
+    module: str
+    cls: str | None
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One top-level class: its methods and (unresolved) base names."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: tuple[str, ...] = ()
+
+
+class ProgramModule:
+    """One parsed module plus its top-level binding table."""
+
+    def __init__(self, name: str, ctx: FileContext) -> None:
+        self.name = name
+        self.ctx = ctx
+        #: local binding → dotted target ("pkg.mod" or "pkg.mod.symbol")
+        self.imports: dict[str, str] = {}
+        #: top-level def/class name → node
+        self.defs: dict[str, ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef] = {}
+        #: top-level assigned names → the statement that binds them
+        self.assigns: dict[str, ast.stmt] = {}
+        #: the module's declared ``__all__`` entries (empty when absent)
+        self.exports: tuple[str, ...] = ()
+        self._index()
+
+    @property
+    def package(self) -> str:
+        """The dotted package this module lives in."""
+        if self.ctx.name == "__init__.py":
+            return self.name
+        return self.name.rsplit(".", 1)[0] if "." in self.name else self.name
+
+    def _index(self) -> None:
+        if self.ctx.tree is None:
+            return
+        for stmt in self.ctx.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    if alias.asname is not None:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds the *top* package name
+                        self.imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._relative_base(stmt)
+                if base is None:
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self.defs[stmt.name] = stmt
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.assigns[target.id] = stmt
+                        if target.id == "__all__":
+                            self.exports = self._export_list(stmt)
+
+    def _relative_base(self, stmt: ast.ImportFrom) -> str | None:
+        """The absolute dotted module a ``from X import`` refers to."""
+        if stmt.level == 0:
+            return stmt.module
+        # level 1 inside pkg.sub.mod (or pkg/sub/__init__) means pkg.sub
+        anchor = self.name if self.ctx.name == "__init__.py" else (
+            self.name.rsplit(".", 1)[0] if "." in self.name else ""
+        )
+        parts = anchor.split(".") if anchor else []
+        strip = stmt.level - 1
+        if strip > len(parts):
+            return None
+        base_parts = parts[: len(parts) - strip]
+        if stmt.module:
+            base_parts.append(stmt.module)
+        return ".".join(base_parts) if base_parts else None
+
+    def _export_list(self, stmt: ast.stmt) -> tuple[str, ...]:
+        value = stmt.value if isinstance(stmt, (ast.Assign, ast.AnnAssign)) else None
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return ()
+        names = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.append(element.value)
+        return tuple(names)
+
+
+class ProgramContext:
+    """Every module of the shipped package(s), parsed and cross-indexed.
+
+    Built from a repository root: packages are discovered under
+    ``<root>/src/*/__init__.py`` (falling back to ``<root>/*/__init__.py``
+    for fixture trees without a ``src`` layout).  Files that do not
+    parse are skipped here — the per-file pass already reports them as
+    ``LNT001``.
+    """
+
+    def __init__(self, root: pathlib.Path, modules: dict[str, ProgramModule]) -> None:
+        self.root = root
+        self.modules = modules
+        self.by_relpath: dict[str, ProgramModule] = {
+            mod.ctx.relpath: mod for mod in modules.values()
+        }
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self._index_definitions()
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, root: str | pathlib.Path) -> "ProgramContext":
+        base = pathlib.Path(root).resolve()
+        search = base / "src" if (base / "src").is_dir() else base
+        modules: dict[str, ProgramModule] = {}
+        for package_dir in sorted(search.iterdir()):
+            if not package_dir.is_dir() or not _is_source(package_dir):
+                continue
+            if not (package_dir / "__init__.py").is_file():
+                continue
+            for path in sorted(package_dir.rglob("*.py")):
+                if not _is_source(path.relative_to(package_dir.parent)):
+                    continue
+                relative = path.relative_to(package_dir.parent)
+                if relative.name == "__init__.py":
+                    dotted = ".".join(relative.parts[:-1])
+                else:
+                    dotted = ".".join(relative.parts)[: -len(".py")]
+                relpath = path.relative_to(base).as_posix()
+                ctx = FileContext(path, relpath, path.read_text(encoding="utf-8"))
+                if ctx.tree is None:
+                    continue  # LNT001 is the per-file pass's business
+                modules[dotted] = ProgramModule(dotted, ctx)
+        return cls(base, modules)
+
+    def _index_definitions(self) -> None:
+        for mod in self.modules.values():
+            for name, node in mod.defs.items():
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{mod.name}.{name}"
+                    self.functions[qualname] = FunctionInfo(
+                        qualname=qualname, module=mod.name, cls=None,
+                        name=name, node=node,
+                    )
+                elif isinstance(node, ast.ClassDef):
+                    qualname = f"{mod.name}.{name}"
+                    methods: dict[str, FunctionInfo] = {}
+                    for stmt in node.body:
+                        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            method_qualname = f"{qualname}.{stmt.name}"
+                            info = FunctionInfo(
+                                qualname=method_qualname, module=mod.name,
+                                cls=name, name=stmt.name, node=stmt,
+                            )
+                            methods[stmt.name] = info
+                            self.functions[method_qualname] = info
+                    bases = tuple(
+                        base_name
+                        for base in node.bases
+                        if (base_name := dotted_name(base)) is not None
+                    )
+                    self.classes[qualname] = ClassInfo(
+                        qualname=qualname, module=mod.name, name=name,
+                        node=node, methods=methods, bases=bases,
+                    )
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve_binding(
+        self, module: str, name: str, _seen: frozenset[str] = frozenset()
+    ) -> tuple[str, str] | None:
+        """What local ``name`` in ``module`` denotes.
+
+        Returns ``("module", dotted)`` when the binding is a program
+        module, ``("symbol", qualname)`` when it is a def/class/constant
+        defined in a program module (import chains through re-exporting
+        ``__init__`` modules are followed), or ``None`` for anything
+        external or unresolvable.
+        """
+        key = f"{module}:{name}"
+        if key in _seen:
+            return None
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        if name in mod.defs or name in mod.assigns:
+            return ("symbol", f"{module}.{name}")
+        target = mod.imports.get(name)
+        if target is None:
+            return None
+        if target in self.modules:
+            return ("module", target)
+        if "." not in target:
+            return None
+        target_module, target_name = target.rsplit(".", 1)
+        if target_module not in self.modules:
+            return None
+        return self.resolve_binding(
+            target_module, target_name, _seen | {key}
+        )
+
+    def resolve_dotted(self, module: str, dotted: str) -> tuple[str, str] | None:
+        """Resolve a dotted use chain (``a.b.c``) seen inside ``module``."""
+        parts = dotted.split(".")
+        resolved = self.resolve_binding(module, parts[0])
+        if resolved is None:
+            return None
+        for part in parts[1:]:
+            kind, target = resolved
+            if kind == "module":
+                submodule = f"{target}.{part}"
+                if submodule in self.modules:
+                    resolved = ("module", submodule)
+                else:
+                    inner = self.resolve_binding(target, part)
+                    if inner is None:
+                        return None
+                    resolved = inner
+            else:
+                # an attribute of a symbol (e.g. a classmethod) — only
+                # class attributes are resolvable without executing code
+                cls = self.classes.get(target)
+                if cls is not None and part in cls.methods:
+                    resolved = ("symbol", cls.methods[part].qualname)
+                else:
+                    return None
+        return resolved
+
+    def resolve_call(
+        self, module: str, cls_name: str | None, node: ast.Call
+    ) -> str | None:
+        """The callee's function qualname, or ``None`` when unresolvable.
+
+        Class instantiation resolves to ``Class.__init__`` when the
+        class defines one (otherwise to the class qualname itself, so
+        reachability still records the edge).
+        """
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        self_name = None
+        if cls_name is not None and "." in name:
+            head, rest = name.split(".", 1)
+            if head == "self" and "." not in rest:
+                self_name = rest
+        if self_name is not None and cls_name is not None:
+            cls = self.classes.get(f"{module}.{cls_name}")
+            if cls is not None and self_name in cls.methods:
+                return cls.methods[self_name].qualname
+            return None
+        resolved = self.resolve_dotted(module, name)
+        if resolved is None or resolved[0] != "symbol":
+            return None
+        qualname = resolved[1]
+        if qualname in self.functions:
+            return qualname
+        cls = self.classes.get(qualname)
+        if cls is not None:
+            init = cls.methods.get("__init__")
+            return init.qualname if init is not None else cls.qualname
+        return None
+
+    # -- call graph -------------------------------------------------------
+
+    def call_graph(self) -> dict[str, frozenset[str]]:
+        """caller qualname → callee qualnames, for every known function.
+
+        Nested function and lambda bodies are *excluded* from their
+        enclosing function's edges: they run only when separately
+        invoked, and the invocation is almost always through a callback
+        the resolver cannot see (documented false negative).
+        """
+        edges: dict[str, frozenset[str]] = {}
+        for info in self.functions.values():
+            callees = set()
+            for call in self.iter_calls(info):
+                target = self.resolve_call(info.module, info.cls, call)
+                if target is not None:
+                    callees.add(target)
+            edges[info.qualname] = frozenset(callees)
+        return edges
+
+    def iter_calls(self, info: FunctionInfo) -> list[ast.Call]:
+        """Call nodes in ``info``'s own body (nested defs excluded)."""
+        calls: list[ast.Call] = []
+        for stmt in info.node.body:
+            for node in self._walk_shallow(stmt):
+                if isinstance(node, ast.Call):
+                    calls.append(node)
+        return calls
+
+    def _walk_shallow(self, node: ast.AST) -> list[ast.AST]:
+        """Walk ``node`` without descending into nested function bodies."""
+        found: list[ast.AST] = [node]
+        queue: list[ast.AST] = [node]
+        while queue:
+            current = queue.pop()
+            for child in ast.iter_child_nodes(current):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                found.append(child)
+                queue.append(child)
+        return found
+
+    def reachable(self, roots: list[str]) -> frozenset[str]:
+        """Function qualnames reachable from ``roots`` in the call graph."""
+        edges = self.call_graph()
+        seen: set[str] = set()
+        frontier = [root for root in roots if root in edges]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(edges.get(current, frozenset()) - seen)
+        return frozenset(seen)

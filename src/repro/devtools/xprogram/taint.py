@@ -1,0 +1,365 @@
+"""Interprocedural RNG taint: RNG004–RNG005.
+
+RNG001–003 (per-file) pin *construction*: every generator is built in
+``repro.simulation.rng`` from an explicit seed.  These rules pin
+*flow*: a ``numpy.random.Generator`` must travel through explicit
+parameters and return values only.  Two escape hatches break seed ⇒
+run determinism while passing every per-file rule:
+
+* ``RNG004`` — a tainted value reaches a **module global** (a
+  module-level assignment, or a ``global X`` write inside a function).
+  A global generator is hidden process state: import order and call
+  history advance it invisibly, and two call sites sharing it are
+  coupled exactly the way ``np.random.*`` was.
+* ``RNG005`` — a tainted local is **captured by a closure** (nested
+  ``def`` or ``lambda``).  The capture smuggles the stream out of the
+  explicit dataflow: the closure can be stored, passed and called
+  later, advancing a stream its caller cannot see in any signature.
+
+Taint starts at calls of the sanctioned constructors
+(``rng_from_seed``, ``spawn_generators``, ``default_rng``) and
+propagates through assignments, tuple unpacking, subscripts,
+``for``-loop targets and — interprocedurally — through functions whose
+return value is tainted, discovered by a fixpoint over conservative
+function summaries.  Every finding prints the full propagation path
+(construction site → each intermediate function → the sink).
+
+Known false negatives (documented in docs/STATIC_ANALYSIS.md): taint
+through object attributes and container *elements* (``self.rng = g``,
+``cache["g"] = g``), and through calls the conservative resolver
+cannot see.  Parameters are deliberately NOT sources: passing a
+generator explicitly is the sanctioned idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..framework import dotted_name
+from . import DeepRule, deep_rule
+from .graph import FunctionInfo, ProgramContext, ProgramModule
+
+#: Calls whose return value is (or contains) a live generator.
+_SOURCES = frozenset({"rng_from_seed", "spawn_generators", "default_rng"})
+
+_Path = tuple[str, ...]
+
+
+def _basename(call: ast.Call) -> str | None:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+class _Scope:
+    """One forward taint pass over a statement block.
+
+    May-analysis: taint is only ever added, never killed, and branch
+    bodies are all executed — so a value tainted on *any* path stays
+    tainted.  ``module_level=True`` makes every assigned name a global
+    (the RNG004 sink); inside functions only ``global``-declared names
+    are.
+    """
+
+    def __init__(
+        self,
+        program: ProgramContext,
+        mod: ProgramModule,
+        cls: str | None,
+        module_level: bool,
+        summaries: dict[str, _Path | None],
+    ) -> None:
+        self.program = program
+        self.mod = mod
+        self.cls = cls
+        self.module_level = module_level
+        self.summaries = summaries
+        self.tainted: dict[str, _Path] = {}
+        self.globals: set[str] = set()
+        self.returns: _Path | None = None
+        #: (name, node, path) — tainted writes to module globals
+        self.global_writes: list[tuple[str, ast.AST, _Path]] = []
+
+    def _loc(self, node: ast.AST) -> str:
+        return f"{self.mod.ctx.relpath}:{getattr(node, 'lineno', 1)}"
+
+    # -- expressions ------------------------------------------------------
+
+    def eval(self, expr: ast.expr | None) -> _Path | None:
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Name):
+            return self.tainted.get(expr.id)
+        if isinstance(expr, ast.Call):
+            base = _basename(expr)
+            if base in _SOURCES:
+                return (f"`{base}(...)` at {self._loc(expr)}",)
+            target = self.program.resolve_call(self.mod.name, self.cls, expr)
+            if target is not None:
+                summary = self.summaries.get(target)
+                if summary is not None:
+                    return summary + (
+                        f"returned to the call at {self._loc(expr)}",
+                    )
+            return None
+        if isinstance(expr, (ast.Subscript, ast.Starred, ast.Await)):
+            return self.eval(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            for element in expr.elts:
+                path = self.eval(element)
+                if path is not None:
+                    return path
+            return None
+        if isinstance(expr, ast.IfExp):
+            return self.eval(expr.body) or self.eval(expr.orelse)
+        if isinstance(expr, ast.NamedExpr):
+            path = self.eval(expr.value)
+            if path is not None and isinstance(expr.target, ast.Name):
+                self.tainted[expr.target.id] = path
+            return path
+        return None
+
+    def _bind(self, target: ast.expr, path: _Path, node: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.tainted[target.id] = path
+            if self.module_level or target.id in self.globals:
+                self.global_writes.append((target.id, node, path))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, path, node)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, path, node)
+
+    # -- statements -------------------------------------------------------
+
+    def exec_block(self, stmts: list[ast.stmt]) -> None:
+        # two passes: a loop-carried taint (``g = gs[i]`` after the loop
+        # rebinds ``gs``) stabilises on the second visit
+        for _ in range(2):
+            for stmt in stmts:
+                self._exec(stmt)
+
+    def _exec_inner(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are separate; closures handled after
+        if isinstance(stmt, ast.Global):
+            self.globals.update(stmt.names)
+            return
+        if isinstance(stmt, ast.Assign):
+            path = self.eval(stmt.value)
+            if path is not None:
+                for target in stmt.targets:
+                    self._bind(target, path, stmt)
+            return
+        if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            path = self.eval(stmt.value)
+            if path is not None:
+                self._bind(stmt.target, path, stmt)
+            return
+        if isinstance(stmt, ast.Return):
+            path = self.eval(stmt.value)
+            if path is not None and self.returns is None:
+                self.returns = path
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            path = self.eval(stmt.iter)
+            if path is not None:
+                self._bind(stmt.target, path, stmt)
+            self._exec_inner(stmt.body)
+            self._exec_inner(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._exec_inner(stmt.body)
+            self._exec_inner(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self._exec_inner(stmt.body)
+            self._exec_inner(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                path = self.eval(item.context_expr)
+                if path is not None and item.optional_vars is not None:
+                    self._bind(item.optional_vars, path, stmt)
+            self._exec_inner(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._exec_inner(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_inner(handler.body)
+            self._exec_inner(stmt.orelse)
+            self._exec_inner(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+            return
+
+
+def _nested_scopes(
+    body: list[ast.stmt],
+) -> list[ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda]:
+    """Directly nested function/lambda scopes anywhere under ``body``."""
+    found: list[ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda] = []
+    queue: list[ast.AST] = list(body)
+    while queue:
+        node = queue.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            found.append(node)
+        else:
+            queue.extend(ast.iter_child_nodes(node))
+    return found
+
+
+def _bound_names(
+    scope: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+) -> set[str]:
+    args = scope.args
+    bound = {
+        arg.arg
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+    }
+    if args.vararg is not None:
+        bound.add(args.vararg.arg)
+    if args.kwarg is not None:
+        bound.add(args.kwarg.arg)
+    body = scope.body if isinstance(scope.body, list) else [ast.Expr(scope.body)]
+    for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+    return bound
+
+
+def _captures(
+    scope: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+    tainted: dict[str, _Path],
+) -> list[tuple[str, _Path]]:
+    """Enclosing tainted locals the nested scope reads without rebinding."""
+    bound = _bound_names(scope)
+    body = scope.body if isinstance(scope.body, list) else [ast.Expr(scope.body)]
+    captured: dict[str, _Path] = {}
+    for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in tainted
+            and node.id not in bound
+            and node.id not in captured
+        ):
+            captured[node.id] = tainted[node.id]
+    return sorted(captured.items())
+
+
+def _render(path: _Path) -> str:
+    return " -> ".join(path)
+
+
+@deep_rule
+class RngFlow(DeepRule):
+    code = "RNG004"
+    name = "generator reaches a module global (RNG005: closure capture)"
+    rationale = (
+        "a numpy Generator must flow through explicit parameters only; "
+        "globals and closures hide the stream from the seed-derivation "
+        "chain, so two runs with one seed can consume it differently"
+    )
+
+    extra_codes = ("RNG005",)
+
+    def check(self, program: ProgramContext) -> Iterator[Finding]:
+        summaries = self._summaries(program)
+
+        for mod in program.modules.values():
+            if mod.ctx.tree is None:
+                continue
+            scope = _Scope(program, mod, None, True, summaries)
+            scope.exec_block(mod.ctx.tree.body)
+            yield from self._global_findings(mod, scope)
+
+        for info in program.functions.values():
+            mod = program.modules[info.module]
+            scope = _Scope(program, mod, info.cls, False, summaries)
+            scope.exec_block(info.node.body)
+            yield from self._global_findings(mod, scope)
+            for nested in _nested_scopes(info.node.body):
+                for name, path in _captures(nested, scope.tainted):
+                    label = getattr(nested, "name", "<lambda>")
+                    yield Finding(
+                        path=mod.ctx.relpath,
+                        line=nested.lineno,
+                        col=nested.col_offset + 1,
+                        code="RNG005",
+                        message=(
+                            f"generator `{name}` is captured by closure "
+                            f"`{label}` instead of being passed as a "
+                            f"parameter; propagation: {_render(path)} -> "
+                            f"captured at "
+                            f"{mod.ctx.relpath}:{nested.lineno}; "
+                            + self.rationale
+                        ),
+                    )
+
+    def _global_findings(
+        self, mod: ProgramModule, scope: _Scope
+    ) -> Iterator[Finding]:
+        seen: set[tuple[str, int]] = set()
+        for name, node, path in scope.global_writes:
+            key = (name, getattr(node, "lineno", 1))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Finding(
+                path=mod.ctx.relpath,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code="RNG004",
+                message=(
+                    f"generator state reaches module global `{name}`; "
+                    f"propagation: {_render(path)} -> assigned to global "
+                    f"`{name}` at {mod.ctx.relpath}:"
+                    f"{getattr(node, 'lineno', 1)}; " + self.rationale
+                ),
+            )
+
+    def _summaries(self, program: ProgramContext) -> dict[str, _Path | None]:
+        """returns-tainted witness paths, to fixpoint over call depth."""
+        summaries: dict[str, _Path | None] = {
+            qualname: None for qualname in program.functions
+        }
+        for _ in range(len(program.functions) + 1):
+            changed = False
+            for qualname, info in program.functions.items():
+                if summaries[qualname] is not None:
+                    continue
+                path = self._returns_tainted(program, info, summaries)
+                if path is not None:
+                    summaries[qualname] = path + (
+                        f"returned by `{info.qualname}()`",
+                    )
+                    changed = True
+            if not changed:
+                break
+        return summaries
+
+    def _returns_tainted(
+        self,
+        program: ProgramContext,
+        info: FunctionInfo,
+        summaries: dict[str, _Path | None],
+    ) -> _Path | None:
+        mod = program.modules[info.module]
+        scope = _Scope(program, mod, info.cls, False, summaries)
+        scope.exec_block(info.node.body)
+        return scope.returns

@@ -45,7 +45,6 @@ __all__ = [
     "run_single",
     "run_single_batched",
     "run_single_fixed_n",
-    "run_single_fixed_n_batched",
     "units",
 ]
 

@@ -25,7 +25,7 @@ FAMILIES = ("uniform", "clustered")
 #: ``units()`` defaults; empty when seeds are the only swept axis.
 GRID = {"family": FAMILIES}
 
-__all__ = ["COLUMNS", "GRID", "FAMILIES", "TITLE", "check", "run", "run_single", "units"]
+__all__ = ["COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(seed: int, family: str) -> dict:

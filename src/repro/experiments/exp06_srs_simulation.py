@@ -40,7 +40,7 @@ ALGORITHMS = {
 #: ``units()`` defaults; empty when seeds are the only swept axis.
 GRID = {"algorithm": tuple(ALGORITHMS)}
 
-__all__ = ["ALGORITHMS", "COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
+__all__ = ["COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
 
 
 def _outputs_equivalent(algorithm, graph, simulated, native) -> bool:

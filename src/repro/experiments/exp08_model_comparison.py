@@ -25,7 +25,7 @@ CHANNELS = ("sinr", "graph")
 #: ``units()`` defaults; empty when seeds are the only swept axis.
 GRID = {"channel": CHANNELS}
 
-__all__ = ["CHANNELS", "COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
+__all__ = ["COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
 
 
 def run_single(seed: int, channel: str) -> dict:

@@ -33,7 +33,7 @@ DEFAULT_N = 80
 #: ``units()`` defaults; empty when seeds are the only swept axis.
 GRID = {"pattern": PATTERNS}
 
-__all__ = ["COLUMNS", "GRID", "PATTERNS", "TITLE", "check", "run", "run_single", "units"]
+__all__ = ["COLUMNS", "GRID", "TITLE", "check", "run", "run_single", "units"]
 
 
 def _make_spec(pattern: str, seed: int) -> WakeupSpec:

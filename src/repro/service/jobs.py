@@ -221,7 +221,8 @@ class JobManager:
 
     def get(self, job_id: str) -> JobRecord:
         """The record for ``job_id``; 404 when unknown."""
-        record = self._jobs.get(job_id)
+        with self._lock:
+            record = self._jobs.get(job_id)
         if record is None:
             raise ServiceError(404, f"unknown job {job_id!r}")
         return record
@@ -323,7 +324,8 @@ class JobManager:
             job_id = self._queue.get()
             if job_id is None:
                 return
-            record = self._jobs.get(job_id)
+            with self._lock:
+                record = self._jobs.get(job_id)
             if record is None:
                 continue
             self._execute(record)

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ConfigurationError
+
 __all__ = ["SlotProfile", "SlotProfiler"]
 
 
@@ -62,7 +64,9 @@ class SlotProfiler:
 
     def __init__(self, max_records: int | None = None) -> None:
         if max_records is not None and max_records < 0:
-            raise ValueError(f"max_records must be >= 0, got {max_records}")
+            raise ConfigurationError(
+                f"max_records must be >= 0, got {max_records}"
+            )
         self._max_records = max_records
         self.records: list[SlotProfile] = []
         self.slots = 0

@@ -1,0 +1,11 @@
+"""API drift fixture: ``orphan_export`` is public but dead (API002)."""
+
+__all__ = ["kept", "orphan_export"]
+
+
+def kept(x):
+    return x
+
+
+def orphan_export():
+    return 2

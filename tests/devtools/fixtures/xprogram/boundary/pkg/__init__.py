@@ -1,0 +1,1 @@
+"""Boundary exception-flow fixture package."""

@@ -1,0 +1,37 @@
+"""Deliberate defect: a helper two hops down leaks ValueError (ERR003).
+
+``_cmd_ok`` shows the sanctioned pattern: it translates the domain
+failure into ConfigurationError, the only type the CLI contract allows.
+"""
+
+import argparse
+
+from .errors import ConfigurationError
+
+
+def helper(n):
+    if n < 0:
+        raise ValueError("negative")
+    return n
+
+
+def _cmd_run(args):
+    return helper(args.n)
+
+
+def _cmd_ok(args):
+    try:
+        return helper(args.n)
+    except ValueError as failure:
+        raise ConfigurationError(str(failure)) from failure
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    sub = parser.add_subparsers()
+    run = sub.add_parser("run")
+    run.set_defaults(func=_cmd_run)
+    ok = sub.add_parser("ok")
+    ok.set_defaults(func=_cmd_ok)
+    args = parser.parse_args()
+    return args.func(args)

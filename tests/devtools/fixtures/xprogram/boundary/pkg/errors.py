@@ -1,0 +1,9 @@
+"""Fixture error hierarchy (mirrors repro.errors in miniature)."""
+
+
+class ConfigurationError(Exception):
+    pass
+
+
+class ServiceError(Exception):
+    pass

@@ -1,0 +1,26 @@
+"""Deliberate defect: a route handler leaks KeyError (ERR003).
+
+``handle_ok`` raises ServiceError, which the route contract allows.
+"""
+
+from ..errors import ServiceError
+
+
+def handle_jobs(request):
+    return request["job_id"].upper()
+
+
+def handle_lookup(request):
+    if "job_id" not in request:
+        raise KeyError("job_id")
+    return request["job_id"]
+
+
+def handle_ok(request):
+    raise ServiceError("not found")
+
+
+ROUTES = {
+    "/jobs": handle_lookup,
+    "/ok": handle_ok,
+}

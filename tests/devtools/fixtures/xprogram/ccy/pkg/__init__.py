@@ -1,0 +1,1 @@
+"""CCY fixture package: a thread-spawning class with bad lock discipline."""

@@ -1,0 +1,38 @@
+"""Deliberate defects: one per lock-discipline code.
+
+* ``_jobs``  — guarded in ``clear()`` but read bare elsewhere (CCY002).
+* ``_flag``  — written bare on the main side, read on the thread (CCY001).
+* ``_log``   — mutated bare on the thread, read on the main side (CCY003).
+"""
+
+import threading
+
+
+class Manager:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = {}
+        self._flag = False
+        self._log = []
+        self._thread = threading.Thread(target=self._run)
+        self._thread.start()
+
+    def clear(self):
+        with self._lock:
+            self._jobs = {}
+
+    def peek(self, key):
+        return self._jobs.get(key)
+
+    def submit(self, key):
+        self._flag = True
+        return key
+
+    def entries(self):
+        return list(self._log)
+
+    def _run(self):
+        for key in self._jobs:
+            self._log.append(key)
+        if self._flag:
+            return

@@ -1,0 +1,1 @@
+"""RNG taint fixture package."""

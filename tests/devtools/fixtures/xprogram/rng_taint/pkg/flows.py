@@ -1,0 +1,40 @@
+"""Deliberate defects: generator streams escaping the explicit dataflow.
+
+* ``GENERATOR``  — a module-level generator (RNG004).
+* ``_shared``    — a ``global`` write of a generator that travelled
+  through ``make_rng()``, exercising the interprocedural summary
+  (second RNG004 with a multi-hop path).
+* ``sampler``    — a closure capturing a local generator (RNG005).
+* ``ALLOWED``    — the same module-level defect under a justified noqa,
+  exercising suppression.
+"""
+
+
+def rng_from_seed(seed):
+    return object()  # stand-in for numpy's Generator in a parse-only tree
+
+
+GENERATOR = rng_from_seed(123)
+
+ALLOWED = rng_from_seed(7)  # repro: noqa[RNG004] fixture exercises suppression
+
+_shared = None
+
+
+def make_rng(seed):
+    rng = rng_from_seed(seed)
+    return rng
+
+
+def install(seed):
+    global _shared
+    _shared = make_rng(seed)
+
+
+def make_sampler(seed):
+    rng = rng_from_seed(seed)
+
+    def sampler():
+        return rng.random()
+
+    return sampler

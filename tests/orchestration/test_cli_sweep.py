@@ -68,10 +68,11 @@ class TestSweepCommand:
         assert "check passed" in out
 
     def test_sweep_rejects_resume_without_store(self, capsys):
-        from repro.errors import ConfigurationError
-
-        with pytest.raises(ConfigurationError, match="store"):
-            main(["sweep", "exp10", "--jobs", "2", "--resume"])
+        # the CLI boundary contract (ERR003): ConfigurationError becomes
+        # a printed message and exit code 2, never a traceback
+        assert main(["sweep", "exp10", "--jobs", "2", "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "repro:" in err and "store" in err
 
 
 class TestVersion:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.telemetry import SlotProfiler
 
 
@@ -70,7 +71,7 @@ class TestRetention:
         assert profiler.slots == 10  # aggregates keep counting
 
     def test_negative_max_records_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             SlotProfiler(max_records=-1)
 
     def test_record_round_trips_as_dict(self):
