@@ -1,0 +1,197 @@
+"""Fuchs-Prutkin simple distributed ``Delta+1`` coloring in SINR.
+
+The arena's first competitor, after the algorithm of Fuchs and Prutkin
+("Simple distributed Delta+1 coloring in the SINR model", SIROCCO 2015,
+arXiv:1502.02426; the experimental companion is arXiv:1511.04303).  The
+shape is their Rand4DColoring specialised to distance 1: every node
+keeps a *candidate* color from the palette ``{0..Delta}`` and transmits
+it with constant-per-degree probability; conflicts are resolved
+locally, and a candidate that survives unchallenged for one safety
+window of ``O(Delta log n)`` slots becomes final.
+
+Per-node rules (all local, id-based tie-breaking):
+
+* hear a *decided* neighbor on color ``c`` — mark ``c`` taken; if it is
+  the own candidate, repick from the free palette and restart the
+  safety window;
+* hear an *undecided* competitor with the same candidate — the lower id
+  keeps it, the higher id repicks (excluding the contested color) and
+  restarts its window;
+* safety window expires — decide the candidate and keep announcing it
+  (decided announcements are what late wakers and lossy links learn
+  taken colors from).
+
+Candidates always come from ``{0..Delta}`` minus the taken set, which
+has at most ``deg(v) <= Delta`` members — so a free color always
+exists and the palette bound ``Delta + 1`` holds unconditionally; the
+``O(Delta log n)`` convergence and properness are w.h.p. over the
+transmission coins (the conformance corpus pins them with fixed seeds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..simulation.event_sim import EventApi, EventNode
+from .base import (
+    ColoringAlgorithm,
+    ColoringRunResult,
+    ColoringTask,
+    ProtocolContext,
+)
+from .harness import run_event_protocol
+from .registry import register_algorithm
+
+__all__ = ["FPColoring", "FPColoringNode", "FPMessage", "FPSharedConfig"]
+
+#: Safety-window scale: the window is ``ceil(KAPPA * (Delta+1) * ln n)``
+#: slots.  A neighbor transmitting with probability ``1/(Delta+1)`` is
+#: heard in a given slot with probability at least ``(1/(Delta+1)) *
+#: (1 - 1/(Delta+1))^Delta >= 1/(e(Delta+1))``, so one window carries
+#: ``>= (KAPPA/e) ln n`` expected hearings per conflicting pair — at 10
+#: that is a miss probability below ``n^-3`` even after halving for
+#: message-loss plans.
+_KAPPA = 10.0
+
+
+@dataclass(frozen=True)
+class FPSharedConfig:
+    """Static shared knowledge: the paper assumes ``n`` and ``Delta``."""
+
+    n: int
+    delta: int
+    tx_prob: float
+    decide_window: int
+    decision_listeners: tuple[Callable[[int, int, int], None], ...] = ()
+
+    @classmethod
+    def for_network(
+        cls,
+        n: int,
+        delta: int,
+        decision_listeners: tuple[Callable[[int, int, int], None], ...] = (),
+    ) -> "FPSharedConfig":
+        """Derive the standard constants for an ``(n, Delta)`` network."""
+        delta = max(1, delta)
+        window = math.ceil(_KAPPA * (delta + 1) * math.log(max(n, 2)))
+        return cls(
+            n=n,
+            delta=delta,
+            tx_prob=min(0.5, 1.0 / (delta + 1)),
+            decide_window=max(1, window),
+            decision_listeners=decision_listeners,
+        )
+
+
+@dataclass(frozen=True)
+class FPMessage:
+    """One announcement: ``(sender, candidate-or-final color, decided)``."""
+
+    sender: int
+    color: int
+    decided: bool
+
+
+@dataclass
+class FPColoringNode(EventNode):
+    """One node's Fuchs-Prutkin state machine (see the module docstring)."""
+
+    node_id: int
+    config: FPSharedConfig
+    candidate: int = field(default=-1, init=False)
+    color: int | None = field(default=None, init=False)
+    decision_slot: int | None = field(default=None, init=False)
+    _taken: set[int] = field(default_factory=set, init=False)
+
+    def on_wake(self, api: EventApi) -> None:
+        self._repick(api, exclude=-1)
+        api.set_rate(self.config.tx_prob)
+
+    def make_payload(self, api: EventApi) -> Any | None:
+        return FPMessage(
+            sender=self.node_id,
+            color=self.candidate,
+            decided=self.color is not None,
+        )
+
+    def on_timer(self, api: EventApi) -> None:
+        if self.color is not None:
+            return
+        self.color = self.candidate
+        self.decision_slot = api.slot
+        for listener in self.config.decision_listeners:
+            listener(api.slot, self.node_id, self.color)
+        # Decided nodes keep announcing at the same rate: that is how
+        # late wakers and loss-afflicted neighbors learn taken colors.
+
+    def on_receive(self, api: EventApi, sender: int, payload: Any) -> None:
+        if not isinstance(payload, FPMessage):
+            return  # corrupted or foreign traffic: undecodable, ignore
+        if payload.decided:
+            self._taken.add(payload.color)
+            if self.color is None and payload.color == self.candidate:
+                self._repick(api, exclude=payload.color)
+            return
+        if (
+            self.color is None
+            and payload.color == self.candidate
+            and payload.sender < self.node_id
+        ):
+            # Undecided competitors on the same candidate: lower id keeps
+            # it, this node steps aside and restarts its safety window.
+            self._repick(api, exclude=payload.color)
+
+    def _repick(self, api: EventApi, exclude: int) -> None:
+        """Draw a fresh candidate from the free palette; restart the window.
+
+        The taken set holds colors of *decided neighbors* only, hence at
+        most ``deg(v) <= Delta`` entries against a palette of
+        ``Delta + 1`` — a free color always exists.  ``exclude``
+        additionally avoids a contested (but not yet taken) color; in
+        the corner case where that empties the pool the contested color
+        stays admissible.
+        """
+        palette = self.config.delta + 1
+        free = [
+            c
+            for c in range(palette)
+            if c not in self._taken and c != exclude
+        ]
+        if not free:
+            free = [c for c in range(palette) if c not in self._taken]
+        self.candidate = free[int(api.rng.integers(len(free)))]
+        api.set_timer(api.slot + self.config.decide_window)
+
+    @property
+    def decided(self) -> bool:
+        return self.color is not None
+
+
+@register_algorithm
+class FPColoring(ColoringAlgorithm):
+    """Fuchs-Prutkin simple ``Delta+1`` coloring (arXiv:1502.02426)."""
+
+    name = "fuchs_prutkin"
+    model = "sinr-protocol"
+
+    def palette_bound(self, delta: int) -> int:
+        """Candidates never leave ``{0..Delta}``: exactly ``Delta + 1``."""
+        return max(1, delta) + 1
+
+    def run(self, task: ColoringTask) -> ColoringRunResult:
+        return run_event_protocol(self, task)
+
+    def build_nodes(self, ctx: ProtocolContext) -> list[FPColoringNode]:
+        shared = FPSharedConfig.for_network(
+            ctx.n, ctx.delta, decision_listeners=ctx.decision_listeners
+        )
+        return [
+            FPColoringNode(node_id=i, config=shared) for i in range(ctx.n)
+        ]
+
+    def slot_budget(self, ctx: ProtocolContext) -> int:
+        """Room for ``O(Delta)`` restarted safety windows per node."""
+        shared = FPSharedConfig.for_network(ctx.n, ctx.delta)
+        return 4 * (shared.delta + 3) * shared.decide_window + 1000

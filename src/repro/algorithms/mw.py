@@ -1,0 +1,99 @@
+"""MW coloring re-registered as the arena's reference entry.
+
+``run`` delegates verbatim to the canonical harness
+(:func:`repro.coloring.runner.run_mw_coloring_audited`), so the arena
+row for ``mw`` is produced by the *same* code path as ``repro color``
+and every EXP-1..13 experiment — registering the reference entry adds a
+view, not a second implementation.  ``build_nodes`` exposes the
+Figure 1-3 state machine itself for the dual-engine conformance test.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..coloring.mw_node import MWColoringNode, MWSharedConfig
+from ..coloring.runner import (
+    build_constants,
+    default_max_slots,
+    run_mw_coloring_audited,
+)
+from ..simulation.event_sim import EventNode
+from .base import (
+    ColoringAlgorithm,
+    ColoringRunResult,
+    ColoringTask,
+    ProtocolContext,
+)
+from .registry import register_algorithm
+
+__all__ = ["MWColoring"]
+
+#: A-priori cap on ``phi(2R_T)``: points at pairwise distance > R_T
+#: inside a disk of radius 2R_T pack radius-R_T/2 disks into a disk of
+#: radius 2.5R_T, so at most (2.5 / 0.5)^2 = 25 fit.
+_PHI_2RT_CAP = 25
+
+
+@register_algorithm
+class MWColoring(ColoringAlgorithm):
+    """Moscibroda-Wattenhofer coloring (the paper's Algorithm 1-3)."""
+
+    name = "mw"
+    model = "sinr-protocol"
+
+    def palette_bound(self, delta: int) -> int:
+        """Theorem 2's ``(phi(2R_T) + 1) * (Delta + 1)`` at the packing cap.
+
+        The run-exact bound on the result uses the deployment's measured
+        ``phi(2R_T)`` (much smaller); this is the geometry-free worst
+        case the entry promises for any unit-disk instance.
+        """
+        return (_PHI_2RT_CAP + 1) * (delta + 1)
+
+    def run(self, task: ColoringTask) -> ColoringRunResult:
+        result, auditor = run_mw_coloring_audited(
+            task.deployment,
+            task.params,
+            seed=task.seed,
+            channel=task.channel,
+            resolver=task.resolver,
+            max_slots=task.max_slots,
+            telemetry=task.telemetry,
+            faults=task.faults,
+        )
+        if task.telemetry is not None:
+            task.telemetry.meta.setdefault("algorithm", self.name)
+        colors = np.where(
+            result.decision_slots >= 0, result.coloring.colors, -1
+        ).astype(np.int64)
+        return ColoringRunResult(
+            algorithm=self.name,
+            graph=result.graph,
+            colors=colors,
+            decision_slots=result.decision_slots,
+            palette_bound=result.palette_bound,
+            completed=result.stats.completed,
+            convergence_slots=result.slots_to_complete,
+            audit_violations=tuple(auditor.violations),
+            stats=result.stats,
+            fault_events=result.fault_events,
+            extras={
+                "leaders": int(len(result.leaders)),
+                "phi_2rt": result.constants.phi_2rt,
+            },
+        )
+
+    def build_nodes(self, ctx: ProtocolContext) -> Sequence[EventNode]:
+        constants = build_constants("practical", ctx.graph, ctx.params, ctx.n)
+        shared = MWSharedConfig(
+            constants=constants, decision_listeners=ctx.decision_listeners
+        )
+        return [MWColoringNode(node_id=i, config=shared) for i in range(ctx.n)]
+
+    def slot_budget(self, ctx: ProtocolContext) -> int:
+        return default_max_slots(
+            build_constants("practical", ctx.graph, ctx.params, ctx.n)
+        )

@@ -1,0 +1,78 @@
+"""The algorithm registry: one name -> one conformance-tested entry.
+
+Registration is declarative — entry modules decorate their class with
+:func:`register_algorithm` and importing :mod:`repro.algorithms` pulls
+every entry in.  The conformance suite parametrises over
+:func:`algorithm_names`, so a new entry inherits the full invariant /
+fault / determinism corpus by merely registering; nothing is hard-coded
+downstream (the arena experiment, the CLI ``--algorithm`` choices and
+the docs catalogue all read this table).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Type
+
+from ..errors import ConfigurationError
+from .base import MODELS, ColoringAlgorithm
+
+__all__ = [
+    "algorithm_names",
+    "all_algorithms",
+    "get_algorithm",
+    "register_algorithm",
+]
+
+_REGISTRY: dict[str, ColoringAlgorithm] = {}
+
+
+def register_algorithm(
+    cls: Type[ColoringAlgorithm],
+) -> Type[ColoringAlgorithm]:
+    """Class decorator: validate and register one zoo entry.
+
+    Entries are stateless, so the registry stores a singleton instance.
+    Duplicate names are configuration errors — a silently shadowed
+    algorithm would corrupt every config hash built on the name.
+    """
+    if not issubclass(cls, ColoringAlgorithm):
+        raise ConfigurationError(
+            f"{cls!r} does not subclass ColoringAlgorithm"
+        )
+    name = cls.name
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"{cls.__name__} must declare a non-empty class-level name"
+        )
+    if cls.model not in MODELS:
+        raise ConfigurationError(
+            f"{cls.__name__}.model must be one of {MODELS}, got {cls.model!r}"
+        )
+    if name in _REGISTRY:
+        raise ConfigurationError(
+            f"algorithm {name!r} is already registered "
+            f"(by {type(_REGISTRY[name]).__name__})"
+        )
+    _REGISTRY[name] = cls()
+    return cls
+
+
+def get_algorithm(name: str) -> ColoringAlgorithm:
+    """The registered entry for ``name`` (ConfigurationError when unknown)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; registered: {algorithm_names()}"
+        ) from None
+
+
+def algorithm_names() -> tuple[str, ...]:
+    """Registered names, sorted (the canonical arena axis order)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def all_algorithms() -> Iterator[ColoringAlgorithm]:
+    """Registered entries in name order."""
+    for name in algorithm_names():
+        yield _REGISTRY[name]

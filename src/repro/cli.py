@@ -4,14 +4,15 @@ The subcommands expose the library's main flows without writing code:
 
 * ``physics``  — print the derived geometry (R_T, R_max, R_I, d) for a set
   of physical constants.
-* ``color``    — run the MW coloring on a synthetic deployment and print
-  the run summary (optionally with the Theorem 1 audit).
+* ``color``    — run a zoo coloring algorithm (default: the paper's MW)
+  on a synthetic deployment and print the run summary (with the
+  Theorem 1 audit); ``--algorithm`` selects any registry entry.
 * ``mac``      — build greedy distance-k TDMA schedules and audit them
   under SINR (the Theorem 3 table).
 * ``srs``      — simulate a uniform message-passing algorithm over the
   SINR MAC layer (Corollary 1) and compare against the reference run.
 * ``estimate`` — run the degree-probing protocol (unknown-Delta extension).
-* ``experiment`` — run a registered EXP-1..EXP-13 claim validation
+* ``experiment`` — run a registered EXP-1..EXP-14 claim validation
   (``--jobs``/``--store``/``--resume`` route it through the parallel
   orchestrator).
 * ``sweep``    — the full orchestration surface: sharded multi-process
@@ -139,6 +140,24 @@ def _add_resolver_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_algorithm_args(
+    parser: argparse.ArgumentParser,
+    default: str | None = None,
+    choices: Sequence[str] | None = None,
+) -> None:
+    parser.add_argument(
+        "--algorithm",
+        default=default,
+        metavar="NAME",
+        choices=list(choices) if choices is not None else None,
+        help=(
+            "coloring algorithm from the zoo registry "
+            "(docs/ALGORITHMS.md); registry-backed experiments also "
+            "accept 'all' or a comma-separated head-to-head subset"
+        ),
+    )
+
+
 def _add_physics_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--alpha", type=float, default=4.0, help="path-loss exponent")
     parser.add_argument("--beta", type=float, default=2.0, help="SINR threshold")
@@ -197,6 +216,8 @@ def _cmd_color(args: argparse.Namespace) -> int:
         print(f"cannot load fault plan: {failure}", file=sys.stderr)
         return 2
     telemetry = _telemetry_from(args, "color")
+    if getattr(args, "algorithm", "mw") != "mw":
+        return _color_via_registry(args, params, deployment, plan, telemetry)
     try:
         result, auditor = run_mw_coloring_audited(
             deployment, params, seed=args.seed, channel=args.channel,
@@ -229,6 +250,51 @@ def _cmd_color(args: argparse.Namespace) -> int:
               f" (summarise with: python -m repro report {telemetry.out})")
     ok = result.stats.completed and result.is_proper() and auditor.clean
     return 0 if ok else 1
+
+
+def _color_via_registry(
+    args: argparse.Namespace,
+    params: PhysicalParams,
+    deployment: Deployment,
+    plan: FaultPlan | None,
+    telemetry: Telemetry | None,
+) -> int:
+    """``repro color --algorithm <zoo entry>``: the arena front door.
+
+    The default ``--algorithm mw`` keeps the historical MW output path
+    (with its degradation table) byte-identical; every other registry
+    entry runs through :func:`repro.algorithms.run_coloring_algorithm`
+    and prints the arena's common summary row.
+    """
+    from .algorithms import run_coloring_algorithm
+
+    try:
+        outcome = run_coloring_algorithm(
+            args.algorithm, deployment, params, seed=args.seed,
+            channel=args.channel, resolver=args.resolver,
+            telemetry=telemetry, faults=plan,
+        )
+    except ConfigurationError:
+        raise
+    except ReproError as failure:
+        raise ConfigurationError(f"color run failed: {failure}") from failure
+    row = outcome.summary()
+    row["independence_violations"] = len(outcome.independence_violations())
+    if outcome.fault_events:
+        for key, value in sorted(outcome.fault_events.items()):
+            row[f"fault_{key}"] = int(value)
+    print(format_table(
+        [row],
+        title=(
+            f"{args.algorithm} coloring run "
+            f"(channel={args.channel}, resolver={args.resolver})"
+        ),
+    ))
+    if telemetry is not None and telemetry.out is not None:
+        telemetry.export("color", rows=[row], summary=row)
+        print(f"telemetry written to {telemetry.out}"
+              f" (summarise with: python -m repro report {telemetry.out})")
+    return 0 if outcome.clean else 1
 
 
 def _cmd_mac(args: argparse.Namespace) -> int:
@@ -368,6 +434,7 @@ def _run_orchestrated(args: argparse.Namespace) -> int:
         faults=plan,
         batch=getattr(args, "batch", False),
         resolver=getattr(args, "resolver", None),
+        algorithm=getattr(args, "algorithm", None),
     )
     if result.interrupted:
         print("sweep interrupted; finish it with --resume", file=sys.stderr)
@@ -429,14 +496,23 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     module = REGISTRY[args.id]
     start = perf_counter()  # repro: noqa[DET001] wall-clock provenance only; rows are unaffected
-    if "seeds" in inspect.signature(module.run).parameters:
-        rows = module.run(seeds=range(args.seeds))
-    else:
-        # some experiments sweep other axes (e.g. exp10's (alpha, beta) grid);
-        # inspecting the signature instead of catching TypeError keeps a
-        # TypeError raised *inside* run() loud instead of silently rerunning
-        # the sweep with default parameters
-        rows = module.run()
+    parameters = inspect.signature(module.run).parameters
+    run_kwargs: dict = {}
+    if "seeds" in parameters:
+        run_kwargs["seeds"] = range(args.seeds)
+    # some experiments sweep other axes (e.g. exp10's (alpha, beta) grid);
+    # inspecting the signature instead of catching TypeError keeps a
+    # TypeError raised *inside* run() loud instead of silently rerunning
+    # the sweep with default parameters
+    algorithm = getattr(args, "algorithm", None)
+    if algorithm is not None:
+        if "algorithm" not in parameters:
+            raise ConfigurationError(
+                f"experiment {args.id!r} has no --algorithm axis; only "
+                "registry-backed experiments (exp14) accept it"
+            )
+        run_kwargs["algorithm"] = algorithm
+    rows = module.run(**run_kwargs)
     elapsed = perf_counter() - start  # repro: noqa[DET001] wall-clock provenance only; rows are unaffected
     print(format_table(rows, columns=module.COLUMNS, title=module.TITLE))
     check_passed = None
@@ -616,6 +692,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--channel", choices=["sinr", "graph", "collision_free"], default="sinr"
     )
     _add_resolver_args(color)
+    from .algorithms import algorithm_names
+
+    _add_algorithm_args(color, default="mw", choices=algorithm_names())
     _add_faults_args(color)
     _add_telemetry_args(color)
     color.set_defaults(func=_cmd_color)
@@ -645,7 +724,7 @@ def build_parser() -> argparse.ArgumentParser:
     from .experiments import REGISTRY
 
     experiment = sub.add_parser(
-        "experiment", help="run a registered experiment (EXP-1 .. EXP-13)"
+        "experiment", help="run a registered experiment (EXP-1 .. EXP-14)"
     )
     experiment.add_argument("id", choices=sorted(REGISTRY))
     experiment.add_argument(
@@ -654,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--no-check", action="store_true", help="print rows without asserting"
     )
+    _add_algorithm_args(experiment)
     _add_orchestration_args(experiment)
     _add_telemetry_args(experiment)
     experiment.set_defaults(func=_cmd_experiment)
@@ -698,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_resolver_args(sweep_cmd)
+    _add_algorithm_args(sweep_cmd)
     _add_faults_args(sweep_cmd)
     _add_telemetry_args(sweep_cmd)
     sweep_cmd.set_defaults(func=_cmd_sweep)

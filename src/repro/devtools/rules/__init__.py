@@ -7,9 +7,20 @@ The catalogue with per-rule rationale lives in docs/STATIC_ANALYSIS.md.
 
 from __future__ import annotations
 
-from . import batch, contracts, determinism, errors, faults, rng, style, telemetry
+from . import (
+    algorithms,
+    batch,
+    contracts,
+    determinism,
+    errors,
+    faults,
+    rng,
+    style,
+    telemetry,
+)
 
 __all__ = [
+    "algorithms",
     "batch",
     "contracts",
     "determinism",

@@ -1,0 +1,120 @@
+"""Algorithm-zoo rules (ALG0xx).
+
+The arena's whole contract flows from the registry: conformance tests,
+the EXP-14 axis, CLI choices and sweep config hashes all enumerate
+:func:`repro.algorithms.registry.algorithm_names`.  A
+``ColoringAlgorithm`` subclass that exists under ``repro/algorithms/``
+but never registers is invisible to every one of those surfaces — it
+compiles, imports, even runs when called directly, yet silently skips
+the conformance corpus.  These rules make that state unrepresentable in
+a merged tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..framework import FileContext, Rule, rule
+
+_BASE_CLASS = "ColoringAlgorithm"
+_REGISTER = "register_algorithm"
+
+
+def _zoo_entries(ctx: FileContext) -> Iterator[ast.ClassDef]:
+    """ColoringAlgorithm subclasses declared under repro/algorithms/."""
+    if not ctx.within("algorithms"):
+        return
+    if ctx.is_file("base.py", under="algorithms"):
+        return  # the abstract base itself
+    for node in ctx.walk():
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for base in node.bases:
+            name = (
+                base.id
+                if isinstance(base, ast.Name)
+                else base.attr
+                if isinstance(base, ast.Attribute)
+                else None
+            )
+            if name == _BASE_CLASS:
+                yield node
+                break
+
+
+def _decorator_names(node: ast.ClassDef) -> set[str]:
+    names = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+@rule
+class ZooEntriesRegister(Rule):
+    code = "ALG001"
+    name = "zoo entries register with the algorithm registry"
+    rationale = (
+        "a ColoringAlgorithm subclass under repro/algorithms/ that is not "
+        "decorated with @register_algorithm is invisible to the registry "
+        "— it skips the conformance corpus, the EXP-14 axis and the CLI "
+        "--algorithm choices while looking fully implemented"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in _zoo_entries(ctx):
+            if _REGISTER not in _decorator_names(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"class {node.name} subclasses {_BASE_CLASS} but lacks "
+                    f"@{_REGISTER}; " + self.rationale,
+                )
+
+
+@rule
+class ZooEntriesDeclareName(Rule):
+    code = "ALG002"
+    name = "zoo entries declare a literal registry name"
+    rationale = (
+        "the class-level `name` is the registry key and the `algorithm` "
+        "axis value folded into sweep config hashes; it must be a "
+        "non-empty string literal so hashes and docs can be audited "
+        "without importing the module"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in _zoo_entries(ctx):
+            declared = None
+            for statement in node.body:
+                targets = ()
+                if isinstance(statement, ast.Assign):
+                    targets = statement.targets
+                elif isinstance(statement, ast.AnnAssign) and statement.value:
+                    targets = (statement.target,)
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id == "name":
+                        declared = statement.value
+            if declared is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"class {node.name} declares no class-level `name`; "
+                    + self.rationale,
+                )
+            elif not (
+                isinstance(declared, ast.Constant)
+                and isinstance(declared.value, str)
+                and declared.value
+            ):
+                yield self.finding(
+                    ctx,
+                    declared,
+                    f"class {node.name}'s `name` is not a non-empty string "
+                    "literal; " + self.rationale,
+                )

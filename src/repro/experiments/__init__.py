@@ -37,6 +37,7 @@ from . import (
     exp11_loss_robustness,
     exp12_unknown_delta,
     exp13_wakeup_patterns,
+    exp14_arena,
 )
 
 REGISTRY = {
@@ -53,6 +54,7 @@ REGISTRY = {
     "exp11": exp11_loss_robustness,
     "exp12": exp12_unknown_delta,
     "exp13": exp13_wakeup_patterns,
+    "exp14": exp14_arena,
 }
 
 __all__ = [
@@ -70,4 +72,5 @@ __all__ = [
     "exp11_loss_robustness",
     "exp12_unknown_delta",
     "exp13_wakeup_patterns",
+    "exp14_arena",
 ]

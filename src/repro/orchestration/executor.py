@@ -175,6 +175,7 @@ def plan_sweep(
     module: str | None = None,
     faults: FaultPlan | dict | None = None,
     resolver: str | None = None,
+    algorithm: str | None = None,
 ) -> SweepPlan:
     """Resolve one sweep's canonical unit list and its config hash.
 
@@ -208,6 +209,16 @@ def plan_sweep(
         unit_kwargs = dict(unit_kwargs or {})
         unit_kwargs["resolver"] = resolver
         require_keys = require_keys + ("resolver",)
+    if algorithm is not None:
+        # The algorithm selector picks different work entirely, so it
+        # must reach units() (registry-backed experiments expand it into
+        # their algorithm axis) and therefore the config hash; silently
+        # dropping it would sweep the whole zoo when one entry was asked
+        # for.  ``None`` keeps unit lists byte-identical to pre-arena
+        # releases.
+        unit_kwargs = dict(unit_kwargs or {})
+        unit_kwargs["algorithm"] = algorithm
+        require_keys = require_keys + ("algorithm",)
 
     units = _resolve_units(module, unit_kwargs, require_keys)
     return SweepPlan(
@@ -235,6 +246,7 @@ def run_sharded(
     faults: FaultPlan | dict | None = None,
     batch: bool = False,
     resolver: str | None = None,
+    algorithm: str | None = None,
 ) -> SweepResult:
     """Run one experiment's sweep as parallel shards; see module docstring.
 
@@ -267,6 +279,12 @@ def run_sharded(
     resuming.  An experiment whose ``units()`` does not accept
     ``resolver`` raises rather than silently running dense.
 
+    ``algorithm`` selects zoo entries for registry-backed experiments
+    (EXP-14's ``--algorithm``: a name, a comma-separated subset, or
+    ``"all"``).  Like ``resolver`` it changes the rows, so it is folded
+    into every unit and the config hash; experiments whose ``units()``
+    does not accept it raise.
+
     Returns a :class:`SweepResult`; raises nothing on shard failures or
     interrupts — inspect ``failures`` / ``interrupted`` instead.
     """
@@ -283,6 +301,7 @@ def run_sharded(
         module=module,
         faults=faults,
         resolver=resolver,
+        algorithm=algorithm,
     )
     module = sweep_plan.module
     units = list(sweep_plan.units)

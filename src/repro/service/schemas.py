@@ -20,6 +20,13 @@ A job submission is a JSON object::
 not a silent fallback to defaults — a remote caller has no stderr to
 notice the sweep it asked for is not the sweep that ran.
 
+Registry-backed experiments (EXP-14's algorithm arena) need no schema
+extension: their ``units()`` takes an ``algorithm`` selector, so
+``"params": {"algorithm": "fuchs_prutkin,kuhn_multicolor"}`` validates
+like any other override and — because the selector becomes a unit axis
+— lands in the ``config_hash`` exactly as the CLI's ``--algorithm``
+flag does.  Distinct selectors are distinct cache entries.
+
 The split between *work* fields (experiment, seeds, params, resolver,
 faults — everything that reaches ``units()`` and therefore the
 ``config_hash``) and *execution* fields (shard size, timeout, retries,

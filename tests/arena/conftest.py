@@ -1,0 +1,45 @@
+"""The shared arena corpus: one deployment set for every competitor.
+
+Conformance and determinism tests all draw from the same 60-seed corpus
+of small deployments (n = 20, extent 3.0 — second-scale protocol runs,
+the density envelope the practical preset's constants are validated
+for; see tests/property/test_invariants_under_faults.py),
+so every registered algorithm is judged on *identical* inputs.  The
+session-scoped ``arena_run`` fixture caches fault-free executions per
+``(algorithm, seed)``: the corpus is swept once no matter how many
+tests inspect it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import run_coloring_algorithm
+from repro.geometry.deployment import uniform_deployment
+from repro.sinr.params import PhysicalParams
+
+CORPUS_SEEDS = tuple(range(60))
+CORPUS_N = 20
+CORPUS_EXTENT = 3.0
+PARAMS = PhysicalParams().with_r_t(1.0)
+
+
+def corpus_deployment(seed: int, n: int = CORPUS_N, extent: float = CORPUS_EXTENT):
+    """The corpus deployment for one seed (identical across algorithms)."""
+    return uniform_deployment(n, extent, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def arena_run():
+    """Cached fault-free corpus runs — one execution per (algorithm, seed)."""
+    cache: dict[tuple[str, int], object] = {}
+
+    def run(algorithm: str, seed: int):
+        key = (algorithm, seed)
+        if key not in cache:
+            cache[key] = run_coloring_algorithm(
+                algorithm, corpus_deployment(seed), PARAMS, seed=seed
+            )
+        return cache[key]
+
+    return run

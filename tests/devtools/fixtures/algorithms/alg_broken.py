@@ -1,0 +1,36 @@
+"""ALG001/ALG002 fixture: zoo entries that dodge the registry."""
+
+from __future__ import annotations
+
+from repro.algorithms.base import ColoringAlgorithm, ColoringRunResult, ColoringTask
+from repro.algorithms.registry import register_algorithm
+
+
+class Rogue(ColoringAlgorithm):  # ALG001: never registered
+    name = "rogue"
+
+    def palette_bound(self, delta: int) -> int:
+        return delta + 1
+
+    def run(self, task: ColoringTask) -> ColoringRunResult:
+        raise NotImplementedError
+
+
+@register_algorithm
+class Anonymous(ColoringAlgorithm):  # ALG002: no class-level name
+    def palette_bound(self, delta: int) -> int:
+        return delta + 1
+
+    def run(self, task: ColoringTask) -> ColoringRunResult:
+        raise NotImplementedError
+
+
+@register_algorithm
+class Computed(ColoringAlgorithm):
+    name = "".join(["dyn", "amic"])  # ALG002: not a string literal
+
+    def palette_bound(self, delta: int) -> int:
+        return delta + 1
+
+    def run(self, task: ColoringTask) -> ColoringRunResult:
+        raise NotImplementedError

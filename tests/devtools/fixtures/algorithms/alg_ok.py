@@ -1,0 +1,24 @@
+"""Clean counterpart: a registered entry with a literal name."""
+
+from __future__ import annotations
+
+from repro.algorithms.base import ColoringAlgorithm, ColoringRunResult, ColoringTask
+from repro.algorithms.registry import register_algorithm
+
+
+@register_algorithm
+class WellBehaved(ColoringAlgorithm):
+    name = "well_behaved"
+    model = "centralised"
+
+    def palette_bound(self, delta: int) -> int:
+        return delta + 1
+
+    def run(self, task: ColoringTask) -> ColoringRunResult:
+        raise NotImplementedError
+
+
+class NotAnEntry:
+    """No ColoringAlgorithm base — outside the rules' scope."""
+
+    name = ""

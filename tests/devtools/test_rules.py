@@ -159,3 +159,32 @@ class TestBatchRules:
             [batch_dir], root=batch_dir.parent.parent, select=["BAT001"]
         )
         assert [finding.code for finding in report.findings] == []
+
+
+class TestAlgorithmRules:
+    def test_alg001_flags_the_unregistered_entry_only(self):
+        assert codes_in("algorithms/alg_broken.py", "ALG001") == ["ALG001"]
+
+    def test_alg002_flags_missing_and_computed_names(self):
+        assert codes_in("algorithms/alg_broken.py", "ALG002") == [
+            "ALG002",
+            "ALG002",
+        ]
+
+    def test_clean_entry_passes_both(self):
+        assert codes_in("algorithms/alg_ok.py", "ALG001") == []
+        assert codes_in("algorithms/alg_ok.py", "ALG002") == []
+
+    def test_rules_ignore_files_outside_the_zoo(self):
+        assert codes_in("clean_module.py", "ALG001") == []
+
+    def test_rules_are_clean_on_the_real_zoo(self):
+        import repro.algorithms
+
+        zoo_dir = pathlib.Path(repro.algorithms.__file__).parent
+        report = lint_paths(
+            [zoo_dir],
+            root=zoo_dir.parent.parent,
+            select=["ALG001", "ALG002"],
+        )
+        assert [finding.code for finding in report.findings] == []

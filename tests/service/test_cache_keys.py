@@ -57,6 +57,40 @@ class TestFaultAxis:
         )
 
 
+class TestAlgorithmAxis:
+    ARENA_KW = {"seeds": range(1), "n": 12, "extent": 2.4}
+
+    def test_selectors_hash_apart(self):
+        hashes = {
+            selector: plan_sweep(
+                "exp14",
+                unit_kwargs={**self.ARENA_KW, "algorithm": selector},
+            ).config_hash
+            for selector in ("greedy", "luby", "greedy,luby")
+        }
+        assert len(set(hashes.values())) == 3
+
+    def test_params_spelling_matches_the_cli_flag(self):
+        # The service path (params.algorithm -> unit_kwargs) and the CLI
+        # path (--algorithm -> plan_sweep(algorithm=...)) must be one
+        # cache entry: the selector lands in the same units either way.
+        via_params = plan_sweep(
+            "exp14", unit_kwargs={**self.ARENA_KW, "algorithm": "greedy"}
+        )
+        via_flag = plan_sweep(
+            "exp14", unit_kwargs=dict(self.ARENA_KW), algorithm="greedy"
+        )
+        assert via_params.config_hash == via_flag.config_hash
+        assert via_params.units == via_flag.units
+
+    def test_unknown_selector_fails_the_plan_not_the_worker(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            plan_sweep(
+                "exp14",
+                unit_kwargs={**self.ARENA_KW, "algorithm": "no-such"},
+            )
+
+
 class TestCrossVariantSeparation:
     def test_dense_no_faults_vs_sparse_with_plan_store_apart(self, tmp_path):
         # the headline regression: the two ends of the spec space land

@@ -63,6 +63,20 @@ class TestAccept:
         )
         assert spec.resolver == "sparse"
 
+    def test_algorithm_selector_rides_params_for_the_arena(self):
+        # Registry-backed experiments need no schema extension: exp14's
+        # units() takes the selector, so it validates like any override.
+        spec = job_spec_from_payload(
+            {"experiment": "exp14", "params": {"algorithm": "greedy,luby"}}
+        )
+        assert spec.unit_kwargs()["algorithm"] == "greedy,luby"
+
+    def test_algorithm_param_rejected_off_the_arena(self):
+        reject(
+            {"experiment": "exp1", "params": {"algorithm": "mw"}},
+            "does not accept param 'algorithm'",
+        )
+
 
 class TestReject:
     def test_non_object_bodies(self):

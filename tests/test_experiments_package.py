@@ -12,8 +12,8 @@ from repro.experiments import exp05_tdma_mac, exp07_palette_reduction
 
 
 class TestRegistry:
-    def test_all_thirteen_experiments_registered(self):
-        assert set(REGISTRY) == {f"exp{i}" for i in range(1, 14)}
+    def test_all_fourteen_experiments_registered(self):
+        assert set(REGISTRY) == {f"exp{i}" for i in range(1, 15)}
 
     @pytest.mark.parametrize("exp_id", sorted(REGISTRY))
     def test_module_interface(self, exp_id):
